@@ -1,0 +1,363 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the CarbonEdge evaluation (see DESIGN.md's experiment index)
+// and reports each experiment's headline quantity as a custom benchmark
+// metric. The full-resolution tables are printed by cmd/cesim and
+// cmd/mesoscale; these benchmarks exist to (a) regenerate each result and
+// (b) track the cost of doing so.
+//
+// CDN-scale simulations run over a 14-day window here (the shapes the
+// paper reports stabilize within days; cmd/cesim defaults to the full
+// 8760-hour year).
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/carbon"
+	"repro/internal/experiments"
+	"repro/internal/placement"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = experiments.NewSuite(42, 24*14) })
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func BenchmarkFig1EnergyMix(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl := r.Shares["PL"]
+		b.ReportMetric(pl[carbon.Coal]+pl[carbon.Gas]+pl[carbon.Oil], "poland_fossil_share")
+	}
+}
+
+func BenchmarkFig2Snapshot(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, snap := range r.Snapshots {
+			if snap.Region == "Central EU" {
+				b.ReportMetric(snap.MinMaxRatio, "central_eu_spread_x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3YearlyCI(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.WestRatio, "west_us_ratio_x")
+		b.ReportMetric(r.EURatio, "central_eu_ratio_x")
+	}
+}
+
+func BenchmarkFig4SpatioTemporal(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Latency(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, hi := r.CentralEU.Stats()
+		b.ReportMetric(hi, "eu_max_oneway_ms")
+	}
+}
+
+func BenchmarkFig5RadiusCDF(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summaries[2].FracAbove40*100, "pct_sites_saving40_at_1000km")
+	}
+}
+
+func BenchmarkFig7Profiles(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Profiles) == 0 {
+			b.Fatal("no profiles")
+		}
+	}
+}
+
+func BenchmarkFig8Florida24h(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		save := (r.LatencyAware.TotalCarbonG - r.CarbonEdge.TotalCarbonG) / r.LatencyAware.TotalCarbonG * 100
+		b.ReportMetric(save, "florida_saving_pct")
+	}
+}
+
+func BenchmarkFig9ResponseTime(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanIncreaseMs, "mean_response_increase_ms")
+	}
+}
+
+func BenchmarkFig10Regional(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Region == "Central EU" && row.App == "ResNet50" {
+				b.ReportMetric(row.SavingPct, "central_eu_saving_pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11YearCDN(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.US.CarbonSavingPct, "us_saving_pct")
+		b.ReportMetric(r.Europe.CarbonSavingPct, "eu_saving_pct")
+		b.ReportMetric(r.Europe.LatencyIncreaseMs, "eu_latency_increase_ms")
+	}
+}
+
+func BenchmarkFig12LatencySweep(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.EU.CarbonSavingPct, "eu_saving_at_30ms_pct")
+	}
+}
+
+func BenchmarkFig13Seasonality(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14DemandCapacity(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 6 {
+			b.Fatal("incomplete scenario grid")
+		}
+	}
+}
+
+func BenchmarkFig15Heterogeneity(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ceG, laG float64
+		for _, row := range r.Rows {
+			if row.Pool == "Hetero." {
+				switch row.Policy {
+				case "CarbonEdge":
+					ceG = row.CarbonG
+				case "Latency-aware":
+					laG = row.CarbonG
+				}
+			}
+		}
+		b.ReportMetric((laG-ceG)/laG*100, "hetero_saving_vs_latency_pct")
+	}
+}
+
+func BenchmarkFig16AlphaSweep(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Low[0].EnergyKWh/r.Low[len(r.Low)-1].EnergyKWh, "low_util_energy_ratio_a0_vs_a1")
+	}
+}
+
+func BenchmarkFig17Scalability(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.ByApps[len(r.ByApps)-1]
+		b.ReportMetric(float64(last.SolveTime.Microseconds())/1000, "solve_400srv_140app_ms")
+		b.ReportMetric(last.AllocMB, "solve_400srv_140app_mb")
+	}
+}
+
+func BenchmarkPlacementDecision(b *testing.B) {
+	// Section 6.5: time to compute one placement decision on the
+	// regional testbed scale (paper: ~3.3 ms).
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Overhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PlacementMs, "decision_ms")
+	}
+}
+
+func BenchmarkAblationSolver(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.AblationSolver()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanGapPct, "heuristic_gap_pct")
+	}
+}
+
+func BenchmarkAblationForecast(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.AblationForecast()
+		if err != nil {
+			b.Fatal(err)
+		}
+		oracle := r.CarbonG["oracle"]
+		naive := r.CarbonG["seasonal-naive"]
+		if oracle > 0 {
+			b.ReportMetric((naive-oracle)/oracle*100, "naive_vs_oracle_pct")
+		}
+	}
+}
+
+func BenchmarkAblationBatch(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationBatch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationActivation(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.AblationActivation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.WithTermKWh > 0 {
+			b.ReportMetric(r.WithoutKWh/r.WithTermKWh, "energy_ratio_without_vs_with")
+		}
+	}
+}
+
+// --- micro-benchmarks for the substrates ---
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	zones := carbon.CuratedZones()
+	gen := carbon.NewGenerator(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Intensity(zones[i%len(zones)])
+	}
+}
+
+func BenchmarkHeuristicSolve100x400(b *testing.B) {
+	s := benchSuite(b)
+	_ = s
+	prob, err := experiments.SyntheticProblem(100, 400, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := placement.NewHeuristicSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(prob, placement.CarbonAware{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSolve8x8(b *testing.B) {
+	prob, err := experiments.SyntheticProblem(8, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := placement.NewExactSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(prob, placement.CarbonAware{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtRedeploy(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.ExtRedeploy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ExtraSavingPct, "extra_saving_pct")
+	}
+}

@@ -1,0 +1,105 @@
+// Command carbonedge runs the CarbonEdge orchestrator as an HTTP service
+// over an emulated mesoscale regional testbed (Florida or Central Europe).
+// The emulated clock advances in the background so carbon intensity
+// evolves while the service runs.
+//
+// Usage:
+//
+//	carbonedge -region florida -addr :8080 -policy carbon
+//
+// Then:
+//
+//	curl -X POST localhost:8080/api/v1/deployments -d \
+//	  '{"name":"demo","model":"ResNet50","source":"Miami","slo_ms":20,"rate_per_sec":10}'
+//	curl -X POST localhost:8080/api/v1/place
+//	curl localhost:8080/api/v1/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/latency"
+	"repro/internal/placement"
+	"repro/internal/testbed"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		region   = flag.String("region", "florida", "testbed region: florida | centraleu")
+		policy   = flag.String("policy", "carbon", "placement policy: carbon | latency | energy | intensity")
+		seed     = flag.Int64("seed", 42, "dataset seed")
+		timeWarp = flag.Duration("tick", 10*time.Second, "wall-clock interval per emulated hour")
+	)
+	flag.Parse()
+
+	var reg testbed.Region
+	switch strings.ToLower(*region) {
+	case "florida":
+		reg = testbed.Florida()
+	case "centraleu", "central-eu", "eu":
+		reg = testbed.CentralEU()
+	default:
+		fmt.Fprintf(os.Stderr, "carbonedge: unknown region %q\n", *region)
+		os.Exit(2)
+	}
+
+	var pol placement.Policy
+	switch strings.ToLower(*policy) {
+	case "carbon":
+		pol = placement.CarbonAware{}
+	case "latency":
+		pol = placement.LatencyAware{}
+	case "energy":
+		pol = placement.EnergyAware{}
+	case "intensity":
+		pol = placement.IntensityAware{}
+	default:
+		fmt.Fprintf(os.Stderr, "carbonedge: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	zones, err := carbon.DefaultRegistry(*seed)
+	if err != nil {
+		log.Fatalf("carbonedge: %v", err)
+	}
+	cities, err := latency.DefaultCityRegistry()
+	if err != nil {
+		log.Fatalf("carbonedge: %v", err)
+	}
+	traces := carbon.NewGenerator(*seed).GenerateTraces(zones)
+
+	tb, err := testbed.New(testbed.Config{
+		Region: reg, Zones: zones, Traces: traces, Cities: cities, Policy: pol,
+	})
+	if err != nil {
+		log.Fatalf("carbonedge: %v", err)
+	}
+
+	// Advance the emulated clock: one emulated hour per tick interval,
+	// bounded to stay within the trace year.
+	go func() {
+		ticker := time.NewTicker(*timeWarp)
+		defer ticker.Stop()
+		for range ticker.C {
+			if tb.Orch.Now().After(traces.Start.Add(time.Duration(traces.Hours-2) * time.Hour)) {
+				log.Printf("carbonedge: trace year exhausted; clock frozen")
+				return
+			}
+			if err := tb.Orch.Tick(time.Hour); err != nil {
+				log.Printf("carbonedge: tick: %v", err)
+			}
+		}
+	}()
+
+	log.Printf("carbonedge: %s testbed (%d DCs), policy %s, listening on %s",
+		reg.Name, len(reg.DCs), pol.Name(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, tb.Orch.API()))
+}

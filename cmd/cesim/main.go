@@ -1,0 +1,61 @@
+// Command cesim runs CarbonEdge evaluation experiments and prints the rows
+// and series of the corresponding paper tables and figures.
+//
+// Usage:
+//
+//	cesim -exp fig11              # one experiment
+//	cesim -all                    # every experiment
+//	cesim -list                   # list experiment IDs
+//	cesim -exp fig11 -hours 720   # bound CDN simulations to 30 days
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		seed  = flag.Int64("seed", 42, "dataset seed")
+		hours = flag.Int("hours", 8760, "CDN simulation span in hours (8760 = paper's year)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if !*all && *exp == "" {
+		fmt.Fprintln(os.Stderr, "cesim: pass -exp <id>, -all, or -list")
+		os.Exit(2)
+	}
+
+	suite, err := experiments.NewSuite(*seed, *hours)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
+		os.Exit(1)
+	}
+
+	ids := []string{*exp}
+	if *all {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(suite, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cesim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), res)
+	}
+}

@@ -1,0 +1,54 @@
+// Command mesoscale runs the Section 3 mesoscale carbon analysis
+// (Figures 1-5 and Table 1) and prints the paper's rows.
+//
+// Usage:
+//
+//	mesoscale            # run the full Section 3 analysis
+//	mesoscale -exp fig5  # one analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+var section3 = []string{"fig1", "fig2", "fig3", "fig4", "table1", "fig5"}
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "analysis ID (fig1..fig5, table1); empty = all")
+		seed = flag.Int64("seed", 42, "dataset seed")
+	)
+	flag.Parse()
+
+	suite, err := experiments.NewSuite(*seed, 24)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mesoscale: %v\n", err)
+		os.Exit(1)
+	}
+	ids := section3
+	if *exp != "" {
+		ok := false
+		for _, id := range section3 {
+			if id == *exp {
+				ok = true
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mesoscale: unknown analysis %q (have %v)\n", *exp, section3)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(suite, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mesoscale: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", id, res)
+	}
+}

@@ -1,0 +1,57 @@
+// Heterogeneous inference fleet example: a mixed Orin Nano / A2 / GTX 1080
+// edge deployment serving a mix of DNN models, demonstrating the
+// carbon-energy trade-off of Eq. 8 — sweep alpha from pure-carbon to
+// pure-energy and watch the placement navigate between the efficient-but-
+// dirty and hungry-but-green options.
+//
+// Run with: go run ./examples/hetero
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/carbon"
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+func main() {
+	world, err := sim.NewWorld(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("30-day heterogeneous European deployment (Orin Nano + A2 + GTX 1080)")
+	fmt.Println("alpha  carbon (g)   energy (kWh)   note")
+	for alpha := 0.0; alpha <= 1.0001; alpha += 0.25 {
+		cfg := sim.DefaultConfig(carbon.RegionEurope, placement.NewCarbonEnergyBlend(alpha))
+		cfg.Hours = 24 * 30
+		cfg.Devices = []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name}
+		cfg.Models = []string{energy.ModelEfficientNetB0, energy.ModelResNet50, energy.ModelYOLOv4}
+		cfg.ServersAlwaysOn = false
+		res, err := sim.Run(cfg, world)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		switch {
+		case alpha == 0:
+			note = "<- vanilla CarbonEdge (min carbon)"
+		case alpha == 1:
+			note = "<- Energy-aware (min energy)"
+		}
+		fmt.Printf("%.2f   %9.0f   %12.2f   %s\n", alpha, res.CarbonG, res.EnergyKWh, note)
+	}
+
+	// Show the per-device energy story behind the trade-off (Figure 7).
+	fmt.Println("\nwhy: per-request energy of ResNet50 by device")
+	for _, dev := range []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name} {
+		p, err := energy.ProfileFor(energy.ModelResNet50, dev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %6.3f J/req, %4.1f ms/req\n", dev, p.EnergyPerRequestJ(), p.InferenceMs)
+	}
+}

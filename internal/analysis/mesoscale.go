@@ -1,0 +1,208 @@
+// Package analysis implements the Section 3 mesoscale carbon analysis: the
+// regional carbon-intensity spread measurements (Figures 2-4), and the
+// continental radius-search study over edge sites (Figure 5) that asks,
+// for every edge data center, how much carbon a workload could save by
+// shifting to the greenest location within a threshold radius D.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/deploy"
+	"repro/internal/geo"
+	"repro/internal/latency"
+	"repro/internal/timeseries"
+)
+
+// MesoscaleRegion names a group of carbon zones analyzed together, as in
+// Figure 2's four panels.
+type MesoscaleRegion struct {
+	Name    string
+	ZoneIDs []string
+}
+
+// PaperRegions returns the four mesoscale regions of Figure 2.
+func PaperRegions() []MesoscaleRegion {
+	return []MesoscaleRegion{
+		{"Florida", []string{"US-FL-JAX", "US-FL-MIA", "US-FL-ORL", "US-FL-TPA", "US-FL-TLH"}},
+		{"West US", []string{"US-SW-KNG", "US-SW-LAS", "US-SW-FLG", "US-SW-PHX", "US-SW-SAN"}},
+		{"Italy", []string{"IT-MIL", "IT-ROM", "IT-CAG", "IT-PAL", "IT-ARE"}},
+		{"Central EU", []string{"CH-BRN", "DE-MUC", "FR-LYO", "AT-GRZ", "IT-MIL"}},
+	}
+}
+
+// RegionSnapshot is one region's carbon intensities at a single hour
+// (Figure 2), with the spread ratio annotated.
+type RegionSnapshot struct {
+	Region      string
+	At          time.Time
+	Zones       []ZoneIntensity
+	MinMaxRatio float64
+	// SpanKmW/SpanKmH annotate the region's bounding box.
+	SpanKmW, SpanKmH float64
+}
+
+// ZoneIntensity pairs a zone with an intensity value.
+type ZoneIntensity struct {
+	ZoneID    string
+	Name      string
+	Intensity float64
+}
+
+// Snapshot computes a region's intensity snapshot at the given hour.
+func Snapshot(reg MesoscaleRegion, zones *carbon.Registry, traces *carbon.TraceSet, at time.Time) (*RegionSnapshot, error) {
+	out := &RegionSnapshot{Region: reg.Name, At: at}
+	lo, hi := math.Inf(1), 0.0
+	var pts []geo.Point
+	for _, id := range reg.ZoneIDs {
+		z := zones.ByID(id)
+		if z == nil {
+			return nil, fmt.Errorf("analysis: unknown zone %q in region %s", id, reg.Name)
+		}
+		tr := traces.Trace(id)
+		if tr == nil {
+			return nil, fmt.Errorf("analysis: no trace for zone %q", id)
+		}
+		v, err := tr.At(at)
+		if err != nil {
+			return nil, err
+		}
+		out.Zones = append(out.Zones, ZoneIntensity{ZoneID: id, Name: z.Name, Intensity: v})
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+		pts = append(pts, z.Location)
+	}
+	if lo > 0 {
+		out.MinMaxRatio = hi / lo
+	}
+	out.SpanKmW, out.SpanKmH = geo.NewBBox(pts).SpanKm()
+	return out, nil
+}
+
+// YearlyStats is one zone's year aggregate (Figure 3 bars).
+type YearlyStats struct {
+	ZoneID string
+	Name   string
+	Mean   float64
+	Min    float64
+	Max    float64
+}
+
+// Yearly computes per-zone year statistics and the region's max/min mean
+// ratio (the "2.7x" / "10.8x" annotations of Figure 3).
+func Yearly(reg MesoscaleRegion, zones *carbon.Registry, traces *carbon.TraceSet) ([]YearlyStats, float64, error) {
+	var out []YearlyStats
+	lo, hi := math.Inf(1), 0.0
+	for _, id := range reg.ZoneIDs {
+		z := zones.ByID(id)
+		tr := traces.Trace(id)
+		if z == nil || tr == nil {
+			return nil, 0, fmt.Errorf("analysis: missing zone or trace %q", id)
+		}
+		st := YearlyStats{ZoneID: id, Name: z.Name, Mean: tr.Mean(), Min: tr.Min(), Max: tr.Max()}
+		out = append(out, st)
+		lo, hi = math.Min(lo, st.Mean), math.Max(hi, st.Mean)
+	}
+	ratio := 0.0
+	if lo > 0 {
+		ratio = hi / lo
+	}
+	return out, ratio, nil
+}
+
+// RadiusSaving is one edge site's best carbon saving within a radius
+// (one sample of Figure 5's CDFs).
+type RadiusSaving struct {
+	SiteID string
+	// SavingPct is the percentage intensity reduction achievable by
+	// shifting to the greenest zone within the radius.
+	SavingPct float64
+	// BestZoneID is that greenest zone.
+	BestZoneID string
+	// OneWayMs is the one-way latency to the best zone's location.
+	OneWayMs float64
+}
+
+// RadiusStudy computes, for every site, the best mean-intensity saving
+// available within radiusKm, plus the latency cost of taking it.
+func RadiusStudy(dep *deploy.Deployment, zones *carbon.Registry, traces *carbon.TraceSet, model latency.Model, radiusKm float64) ([]RadiusSaving, error) {
+	// Precompute zone mean intensities.
+	means := map[string]float64{}
+	for _, z := range zones.Zones() {
+		tr := traces.Trace(z.ID)
+		if tr == nil {
+			return nil, fmt.Errorf("analysis: no trace for zone %s", z.ID)
+		}
+		means[z.ID] = tr.Mean()
+	}
+	out := make([]RadiusSaving, 0, len(dep.Sites))
+	for _, site := range dep.Sites {
+		own := means[site.ZoneID]
+		best := RadiusSaving{SiteID: site.ID, BestZoneID: site.ZoneID}
+		for _, z := range zones.ZonesWithin(site.Location, radiusKm) {
+			// Restrict to same-continent shifts, as the paper's CDN
+			// study does.
+			if z.Region != site.Region {
+				continue
+			}
+			saving := (own - means[z.ID]) / own * 100
+			if saving > best.SavingPct {
+				best.SavingPct = saving
+				best.BestZoneID = z.ID
+				best.OneWayMs = model.OneWayMs(site.Location, z.Location)
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// RadiusCDFSummary summarizes a radius study the way Figure 5 annotates
+// its panels.
+type RadiusCDFSummary struct {
+	RadiusKm float64
+	// FracBelow20 is the fraction of sites with < 20% available saving.
+	FracBelow20 float64
+	// FracAbove40 is the fraction with > 40% available saving.
+	FracAbove40 float64
+	// MedianLatencyMs is the median one-way latency of the taken shifts
+	// (Figure 5d), over sites that found any saving.
+	MedianLatencyMs float64
+	// CDF is the full empirical saving distribution.
+	CDF *timeseries.CDF
+}
+
+// SummarizeRadius aggregates radius-study results.
+func SummarizeRadius(radiusKm float64, savings []RadiusSaving) RadiusCDFSummary {
+	vals := make([]float64, len(savings))
+	var lats []float64
+	below20, above40 := 0, 0
+	for i, s := range savings {
+		vals[i] = s.SavingPct
+		if s.SavingPct < 20 {
+			below20++
+		}
+		if s.SavingPct > 40 {
+			above40++
+		}
+		if s.SavingPct > 0 {
+			lats = append(lats, s.OneWayMs)
+		}
+	}
+	sum := RadiusCDFSummary{
+		RadiusKm: radiusKm,
+		CDF:      timeseries.NewCDF(vals),
+	}
+	if len(savings) > 0 {
+		sum.FracBelow20 = float64(below20) / float64(len(savings))
+		sum.FracAbove40 = float64(above40) / float64(len(savings))
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		sum.MedianLatencyMs = timeseries.Median(lats)
+	}
+	return sum
+}

@@ -1,0 +1,93 @@
+package carbon
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// WriteCSV serializes a TraceSet in the long format used by Electricity
+// Maps exports: header "timestamp,zone,carbon_intensity", one row per
+// (hour, zone), hours ascending then zones alphabetical.
+func WriteCSV(w io.Writer, ts *TraceSet) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "zone", "carbon_intensity"}); err != nil {
+		return err
+	}
+	ids := ts.ZoneIDs()
+	sort.Strings(ids)
+	for h := 0; h < ts.Hours; h++ {
+		stamp := ts.Start.Add(time.Duration(h) * time.Hour).Format(time.RFC3339)
+		for _, id := range ids {
+			tr := ts.Trace(id)
+			if h >= tr.Len() {
+				continue
+			}
+			rec := []string{stamp, id, strconv.FormatFloat(tr.Values[h], 'f', 3, 64)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a TraceSet from the long CSV format written by WriteCSV.
+// Rows must be hour-ascending per zone and hourly-contiguous.
+func ReadCSV(r io.Reader) (*TraceSet, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("carbon: reading CSV header: %w", err)
+	}
+	if len(header) != 3 || header[0] != "timestamp" || header[1] != "zone" || header[2] != "carbon_intensity" {
+		return nil, fmt.Errorf("carbon: unexpected CSV header %v", header)
+	}
+	type acc struct {
+		start time.Time
+		next  time.Time
+		vals  []float64
+	}
+	zones := map[string]*acc{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("carbon: reading CSV row: %w", err)
+		}
+		stamp, err := time.Parse(time.RFC3339, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("carbon: bad timestamp %q: %w", rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("carbon: bad intensity %q: %w", rec[2], err)
+		}
+		a := zones[rec[1]]
+		if a == nil {
+			a = &acc{start: stamp, next: stamp}
+			zones[rec[1]] = a
+		}
+		if !stamp.Equal(a.next) {
+			return nil, fmt.Errorf("carbon: zone %s trace not hourly-contiguous at %v (expected %v)", rec[1], stamp, a.next)
+		}
+		a.vals = append(a.vals, v)
+		a.next = stamp.Add(time.Hour)
+	}
+	if len(zones) == 0 {
+		return nil, fmt.Errorf("carbon: empty CSV")
+	}
+	ts := &TraceSet{traces: make(map[string]*timeseries.Series, len(zones))}
+	for id, a := range zones {
+		ts.Put(id, timeseries.FromValues(a.start, a.vals))
+	}
+	return ts, nil
+}

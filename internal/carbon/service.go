@@ -1,0 +1,196 @@
+package carbon
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Forecaster predicts future carbon intensity for a zone from its history.
+// Implementations must be safe for concurrent use.
+type Forecaster interface {
+	// Forecast returns the predicted carbon intensity for each of the
+	// horizon hours following now, given the trace history up to and
+	// including now.
+	Forecast(history *timeseries.Series, now time.Time, horizon int) ([]float64, error)
+	// Name identifies the forecaster in experiment output.
+	Name() string
+}
+
+// Service is the carbon-intensity service of Figure 6: it replays
+// historical traces to provide "real-time" carbon intensity per zone and
+// periodic forecasts (step 0 of the CarbonEdge workflow). It corresponds to
+// the Electricity Maps API integration in the prototype (§5.1).
+type Service struct {
+	mu       sync.RWMutex
+	traces   *TraceSet
+	forecast Forecaster
+}
+
+// NewService creates a service replaying the given traces with the given
+// forecaster. A nil forecaster defaults to SeasonalNaive.
+func NewService(traces *TraceSet, f Forecaster) *Service {
+	if f == nil {
+		f = SeasonalNaive{Period: 24}
+	}
+	return &Service{traces: traces, forecast: f}
+}
+
+// Current returns the carbon intensity of the zone at time now.
+func (s *Service) Current(zoneID string, now time.Time) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tr := s.traces.Trace(zoneID)
+	if tr == nil {
+		return 0, fmt.Errorf("carbon: no trace for zone %q", zoneID)
+	}
+	return tr.At(now)
+}
+
+// ZoneForecaster is implemented by forecasters that need the zone identity
+// and full trace set (e.g. Oracle); Service prefers this path when
+// available.
+type ZoneForecaster interface {
+	ForecastZone(traces *TraceSet, zoneID string, now time.Time, horizon int) ([]float64, error)
+}
+
+// Forecast returns the predicted hourly carbon intensity for the horizon
+// hours following now.
+func (s *Service) Forecast(zoneID string, now time.Time, horizon int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if zf, ok := s.forecast.(ZoneForecaster); ok {
+		return zf.ForecastZone(s.traces, zoneID, now, horizon)
+	}
+	tr := s.traces.Trace(zoneID)
+	if tr == nil {
+		return nil, fmt.Errorf("carbon: no trace for zone %q", zoneID)
+	}
+	i, err := tr.IndexOf(now)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := tr.Slice(0, i+1)
+	if err != nil {
+		return nil, err
+	}
+	return s.forecast.Forecast(hist, now, horizon)
+}
+
+// MeanForecast returns the mean of the forecast over the horizon — the
+// Ī_j input of the placement formulation (Table 2).
+func (s *Service) MeanForecast(zoneID string, now time.Time, horizon int) (float64, error) {
+	f, err := s.Forecast(zoneID, now, horizon)
+	if err != nil {
+		return 0, err
+	}
+	return timeseries.Mean(f), nil
+}
+
+// SeasonalNaive forecasts each future hour as the value observed Period
+// hours earlier (same hour yesterday for Period=24). It is the forecaster
+// the prototype ships with; carbon intensity has a strong diurnal cycle, so
+// this simple model has competitive accuracy.
+type SeasonalNaive struct {
+	// Period is the seasonality in hours (24 = daily).
+	Period int
+}
+
+// Name implements Forecaster.
+func (SeasonalNaive) Name() string { return "seasonal-naive" }
+
+// Forecast implements Forecaster.
+func (f SeasonalNaive) Forecast(history *timeseries.Series, _ time.Time, horizon int) ([]float64, error) {
+	p := f.Period
+	if p <= 0 {
+		p = 24
+	}
+	n := history.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("carbon: seasonal-naive needs history")
+	}
+	out := make([]float64, horizon)
+	for h := 0; h < horizon; h++ {
+		// Index of the same phase in the most recent complete period.
+		idx := n - p + h%p
+		for idx >= n {
+			idx -= p
+		}
+		if idx < 0 {
+			idx = n - 1
+		}
+		out[h] = history.Values[idx]
+	}
+	return out, nil
+}
+
+// EWMA forecasts a flat continuation at the exponentially weighted moving
+// average of recent history. It underreacts to diurnal swings and serves as
+// the ablation baseline for forecast quality.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0,1]; higher reacts faster.
+	Alpha float64
+}
+
+// Name implements Forecaster.
+func (EWMA) Name() string { return "ewma" }
+
+// Forecast implements Forecaster.
+func (f EWMA) Forecast(history *timeseries.Series, _ time.Time, horizon int) ([]float64, error) {
+	if history.Len() == 0 {
+		return nil, fmt.Errorf("carbon: ewma needs history")
+	}
+	a := f.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.2
+	}
+	level := history.Values[0]
+	for _, v := range history.Values[1:] {
+		level = a*v + (1-a)*level
+	}
+	out := make([]float64, horizon)
+	for i := range out {
+		out[i] = level
+	}
+	return out, nil
+}
+
+// Oracle returns the true future values from the full trace. It provides
+// the upper bound for the forecast ablation.
+type Oracle struct {
+	Traces *TraceSet
+	ZoneID string
+}
+
+// Name implements Forecaster.
+func (Oracle) Name() string { return "oracle" }
+
+// ForecastZone implements ZoneForecaster: when used through a Service the
+// oracle reads the true future of whichever zone is being forecast.
+func (f Oracle) ForecastZone(traces *TraceSet, zoneID string, now time.Time, horizon int) ([]float64, error) {
+	o := Oracle{Traces: traces, ZoneID: zoneID}
+	return o.Forecast(nil, now, horizon)
+}
+
+// Forecast implements Forecaster. It ignores history and reads the truth.
+func (f Oracle) Forecast(_ *timeseries.Series, now time.Time, horizon int) ([]float64, error) {
+	tr := f.Traces.Trace(f.ZoneID)
+	if tr == nil {
+		return nil, fmt.Errorf("carbon: oracle has no trace for %q", f.ZoneID)
+	}
+	i, err := tr.IndexOf(now)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, horizon)
+	for h := 0; h < horizon; h++ {
+		j := i + 1 + h
+		if j >= tr.Len() {
+			j = tr.Len() - 1
+		}
+		out[h] = tr.Values[j]
+	}
+	return out, nil
+}

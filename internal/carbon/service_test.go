@@ -1,0 +1,199 @@
+package carbon
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+func smallTraceSet(t *testing.T) (*TraceSet, *Registry) {
+	t.Helper()
+	reg, err := NewRegistry(CuratedZones())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(11)
+	return g.GenerateTraces(reg), reg
+}
+
+func TestServiceCurrent(t *testing.T) {
+	ts, _ := smallTraceSet(t)
+	svc := NewService(ts, nil)
+	now := ts.Start.Add(100 * time.Hour)
+	v, err := svc.Current("DE-MUC", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ts.Trace("DE-MUC").Values[100]
+	if v != want {
+		t.Errorf("Current = %v, want %v", v, want)
+	}
+	if _, err := svc.Current("nope", now); err == nil {
+		t.Error("unknown zone should error")
+	}
+	if _, err := svc.Current("DE-MUC", ts.Start.Add(-time.Hour)); err == nil {
+		t.Error("time before trace should error")
+	}
+}
+
+func TestSeasonalNaiveForecast(t *testing.T) {
+	// History with a perfect 24h cycle: forecast must reproduce it.
+	vals := make([]float64, 24*7)
+	for i := range vals {
+		vals[i] = float64(i % 24)
+	}
+	hist := timeseries.FromValues(time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC), vals)
+	f := SeasonalNaive{Period: 24}
+	got, err := f.Forecast(hist, hist.End(), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, v := range got {
+		want := float64(h % 24)
+		if v != want {
+			t.Fatalf("forecast[%d] = %v, want %v", h, v, want)
+		}
+	}
+}
+
+func TestSeasonalNaiveShortHistory(t *testing.T) {
+	hist := timeseries.FromValues(time.Now().UTC(), []float64{5, 6})
+	got, err := SeasonalNaive{Period: 24}.Forecast(hist, time.Now(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 5 && v != 6 {
+			t.Errorf("short-history forecast produced %v, want a historical value", v)
+		}
+	}
+	if _, err := (SeasonalNaive{}).Forecast(timeseries.New(time.Now(), 0), time.Now(), 2); err == nil {
+		t.Error("empty history should error")
+	}
+}
+
+func TestEWMAForecastFlat(t *testing.T) {
+	hist := timeseries.FromValues(time.Now().UTC(), []float64{10, 10, 10, 10})
+	got, err := EWMA{Alpha: 0.3}.Forecast(hist, time.Now(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.Abs(v-10) > 1e-9 {
+			t.Errorf("EWMA of constant series = %v, want 10", v)
+		}
+	}
+}
+
+func TestEWMAConvergesTowardRecent(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		if i < 50 {
+			vals[i] = 0
+		} else {
+			vals[i] = 100
+		}
+	}
+	hist := timeseries.FromValues(time.Now().UTC(), vals)
+	got, _ := EWMA{Alpha: 0.3}.Forecast(hist, time.Now(), 1)
+	if got[0] < 90 {
+		t.Errorf("EWMA after step change = %v, want > 90", got[0])
+	}
+}
+
+func TestOracleForecastIsTruth(t *testing.T) {
+	ts, _ := smallTraceSet(t)
+	zone := "CH-BRN"
+	now := ts.Start.Add(50 * time.Hour)
+	f := Oracle{Traces: ts, ZoneID: zone}
+	got, err := f.Forecast(nil, now, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ts.Trace(zone)
+	for h := 0; h < 5; h++ {
+		if got[h] != tr.Values[51+h] {
+			t.Fatalf("oracle[%d] = %v, want %v", h, got[h], tr.Values[51+h])
+		}
+	}
+}
+
+func TestServiceMeanForecast(t *testing.T) {
+	ts, _ := smallTraceSet(t)
+	svc := NewService(ts, SeasonalNaive{Period: 24})
+	now := ts.Start.Add(24 * 10 * time.Hour)
+	mean, err := svc.MeanForecast("US-FL-MIA", now, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ts.Trace("US-FL-MIA")
+	// Seasonal naive over a full day = mean of the prior day.
+	hist, _ := tr.Slice(24*9+1, 24*10+1)
+	if math.Abs(mean-hist.Mean()) > 1e-9 {
+		t.Errorf("MeanForecast = %v, want %v", mean, hist.Mean())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	reg, err := NewRegistry(CuratedZones()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(4)
+	g.Year = 2023
+	src := &TraceSet{}
+	for _, z := range reg.Zones() {
+		full := g.Intensity(z)
+		short, _ := full.Slice(0, 72)
+		src.Put(z.ID, short)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range reg.Zones() {
+		a, b := src.Trace(z.ID), got.Trace(z.ID)
+		if b == nil {
+			t.Fatalf("round trip lost zone %s", z.ID)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("round trip length %d != %d", a.Len(), b.Len())
+		}
+		for i := range a.Values {
+			if math.Abs(a.Values[i]-b.Values[i]) > 0.001 {
+				t.Fatalf("zone %s hour %d: %v != %v", z.ID, i, a.Values[i], b.Values[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"bad-header", "a,b,c\n"},
+		{"empty", "timestamp,zone,carbon_intensity\n"},
+		{"bad-time", "timestamp,zone,carbon_intensity\nnot-a-time,Z,1\n"},
+		{"bad-value", "timestamp,zone,carbon_intensity\n2023-01-01T00:00:00Z,Z,xyz\n"},
+		{"gap", "timestamp,zone,carbon_intensity\n" +
+			"2023-01-01T00:00:00Z,Z,1\n" +
+			"2023-01-01T02:00:00Z,Z,2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.data)); err == nil {
+				t.Error("expected parse error")
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceString(t *testing.T) {
+	cases := map[Source]string{
+		Solar: "solar", Wind: "wind", Hydro: "hydro", Nuclear: "nuclear",
+		Biomass: "biomass", Gas: "gas", Oil: "oil", Coal: "coal",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+	if got := Source(99).String(); got != "Source(99)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+func TestSourcesComplete(t *testing.T) {
+	ss := Sources()
+	if len(ss) != int(numSources) {
+		t.Fatalf("Sources() returned %d, want %d", len(ss), numSources)
+	}
+	seen := map[Source]bool{}
+	for _, s := range ss {
+		seen[s] = true
+	}
+	if len(seen) != int(numSources) {
+		t.Error("Sources() contains duplicates")
+	}
+}
+
+func TestEmissionFactorOrdering(t *testing.T) {
+	// Fossil sources must dominate low-carbon sources; coal is the worst.
+	lows := []Source{Solar, Wind, Hydro, Nuclear}
+	for _, lo := range lows {
+		for _, hi := range []Source{Gas, Oil, Coal} {
+			if lo.EmissionFactor() >= hi.EmissionFactor() {
+				t.Errorf("%v factor %.0f >= %v factor %.0f", lo, lo.EmissionFactor(), hi, hi.EmissionFactor())
+			}
+		}
+	}
+	if Coal.EmissionFactor() <= Gas.EmissionFactor() {
+		t.Error("coal must be dirtier than gas")
+	}
+}
+
+func TestRenewableAndFossilClassification(t *testing.T) {
+	if !Solar.Renewable() || !Wind.Renewable() {
+		t.Error("solar/wind must be renewable")
+	}
+	if Hydro.Renewable() || Nuclear.Renewable() {
+		t.Error("hydro/nuclear are firm, not VRE, in this model")
+	}
+	for _, s := range []Source{Gas, Oil, Coal} {
+		if !s.Fossil() {
+			t.Errorf("%v should be fossil", s)
+		}
+	}
+	for _, s := range []Source{Solar, Wind, Hydro, Nuclear, Biomass} {
+		if s.Fossil() {
+			t.Errorf("%v should not be fossil", s)
+		}
+	}
+}
+
+func TestMixIntensityPureSources(t *testing.T) {
+	for _, s := range Sources() {
+		var m Mix
+		m[s] = 2.5
+		got := m.Intensity()
+		if math.Abs(got-s.EmissionFactor()) > 1e-9 {
+			t.Errorf("pure %v intensity = %v, want %v", s, got, s.EmissionFactor())
+		}
+	}
+}
+
+func TestMixIntensityZero(t *testing.T) {
+	var m Mix
+	if got := m.Intensity(); got != 0 {
+		t.Errorf("zero mix intensity = %v, want 0", got)
+	}
+	if got := m.FossilShare(); got != 0 {
+		t.Errorf("zero mix fossil share = %v, want 0", got)
+	}
+	if got := m.Shares(); got != (Mix{}) {
+		t.Errorf("zero mix shares = %v, want zeros", got)
+	}
+}
+
+func TestMixIntensityWeightedAverage(t *testing.T) {
+	var m Mix
+	m[Coal] = 1
+	m[Wind] = 1
+	want := (Coal.EmissionFactor() + Wind.EmissionFactor()) / 2
+	if got := m.Intensity(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("50/50 coal/wind = %v, want %v", got, want)
+	}
+}
+
+func TestMixIntensityBounds(t *testing.T) {
+	// Property: intensity of any non-negative mix lies within
+	// [min factor, max factor].
+	f := func(raw [8]float64) bool {
+		var m Mix
+		for i, v := range raw {
+			m[i] = math.Abs(math.Mod(v, 100))
+			if math.IsNaN(m[i]) || math.IsInf(m[i], 0) {
+				m[i] = 1
+			}
+		}
+		if m.Total() == 0 {
+			return true
+		}
+		ci := m.Intensity()
+		return ci >= Wind.EmissionFactor()-1e-9 && ci <= Coal.EmissionFactor()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixSharesSumToOne(t *testing.T) {
+	var m Mix
+	m[Gas], m[Solar], m[Hydro] = 3, 1, 2
+	sh := m.Shares()
+	var total float64
+	for _, v := range sh {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("shares sum = %v, want 1", total)
+	}
+	if math.Abs(sh[Gas]-0.5) > 1e-12 {
+		t.Errorf("gas share = %v, want 0.5", sh[Gas])
+	}
+}
+
+func TestFossilShare(t *testing.T) {
+	var m Mix
+	m[Coal], m[Hydro] = 1, 3
+	if got := m.FossilShare(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("fossil share = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/geo"
+)
+
+func newTestServer(id string) *Server {
+	s := NewServer(id, "dc1", energy.A2, NewResources(4000, 16384, 16384, 1000))
+	_ = s.SetState(PoweredOn)
+	return s
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := NewResources(100, 200, 300, 400)
+	b := NewResources(1, 2, 3, 4)
+	sum := a.Add(b)
+	if sum[ResCPUMilli] != 101 || sum[ResNetMbps] != 404 {
+		t.Errorf("Add = %v", sum)
+	}
+	diff := a.Sub(b)
+	if diff[ResMemMB] != 198 {
+		t.Errorf("Sub = %v", diff)
+	}
+	// Value semantics: a unchanged.
+	if a[ResCPUMilli] != 100 {
+		t.Error("Add mutated receiver")
+	}
+}
+
+func TestResourcesFits(t *testing.T) {
+	c := NewResources(1000, 1000, 1000, 1000)
+	if !NewResources(1000, 999, 0, 0).Fits(c) {
+		t.Error("exact fit rejected")
+	}
+	if NewResources(1001, 0, 0, 0).Fits(c) {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestResourcesDominant(t *testing.T) {
+	c := NewResources(1000, 2000, 0, 100)
+	u := NewResources(500, 1500, 0, 10)
+	if got := u.Dominant(c); got != 0.75 {
+		t.Errorf("Dominant = %v, want 0.75 (mem)", got)
+	}
+	// Zero-capacity dimensions are ignored even when used is non-zero.
+	u2 := NewResources(0, 0, 50, 0)
+	if got := u2.Dominant(c); got != 0 {
+		t.Errorf("Dominant with zero-cap dim = %v, want 0", got)
+	}
+}
+
+func TestResourcesAddSubInverse(t *testing.T) {
+	clamp := func(v float64) float64 {
+		if v != v || v > 1e9 || v < -1e9 {
+			return 1
+		}
+		return v
+	}
+	f := func(a, b [4]float64) bool {
+		var ra, rb Resources
+		for k := range ra {
+			ra[k], rb[k] = clamp(a[k]), clamp(b[k])
+		}
+		back := ra.Add(rb).Sub(rb)
+		for k := range back {
+			if diff := back[k] - ra[k]; diff > 1e-3 || diff < -1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerAllocateRelease(t *testing.T) {
+	s := newTestServer("s1")
+	demand := NewResources(1000, 4096, 2048, 100)
+	if err := s.Allocate("app1", demand); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Used(); got != demand {
+		t.Errorf("Used = %v", got)
+	}
+	if got := s.Free(); got != s.Capacity.Sub(demand) {
+		t.Errorf("Free = %v", got)
+	}
+	if s.NumApps() != 1 {
+		t.Errorf("NumApps = %d", s.NumApps())
+	}
+	if err := s.Release("app1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Used(); got != (Resources{}) {
+		t.Errorf("Used after release = %v", got)
+	}
+}
+
+func TestServerAllocateRejections(t *testing.T) {
+	s := NewServer("s1", "dc1", energy.A2, NewResources(1000, 1000, 1000, 1000))
+	demand := NewResources(100, 100, 100, 100)
+
+	// Powered off: Eq. 5.
+	if err := s.Allocate("a", demand); err == nil || !strings.Contains(err.Error(), "powered off") {
+		t.Errorf("allocate on off server: %v", err)
+	}
+	_ = s.SetState(PoweredOn)
+	if err := s.Allocate("a", demand); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate.
+	if err := s.Allocate("a", demand); err == nil {
+		t.Error("duplicate allocation accepted")
+	}
+	// Over capacity: Eq. 1.
+	if err := s.Allocate("b", NewResources(950, 0, 0, 0)); err == nil {
+		t.Error("over-capacity allocation accepted")
+	}
+	// Release of unknown app.
+	if err := s.Release("zzz"); err == nil {
+		t.Error("release of unknown app accepted")
+	}
+}
+
+func TestServerPowerOffWithAppsRejected(t *testing.T) {
+	s := newTestServer("s1")
+	if err := s.Allocate("a", NewResources(1, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetState(PoweredOff); err == nil {
+		t.Error("powering off a loaded server should fail (Eq. 4)")
+	}
+	_ = s.Release("a")
+	if err := s.SetState(PoweredOff); err != nil {
+		t.Errorf("powering off an empty server failed: %v", err)
+	}
+}
+
+func TestServerPowerDraw(t *testing.T) {
+	s := NewServer("s1", "dc1", energy.A2, NewResources(1000, 0, 0, 0))
+	if got := s.PowerW(); got != 0 {
+		t.Errorf("off power = %v, want 0", got)
+	}
+	_ = s.SetState(PoweredOn)
+	if got := s.PowerW(); got != energy.A2.IdleW {
+		t.Errorf("idle power = %v, want %v", got, energy.A2.IdleW)
+	}
+	_ = s.Allocate("a", NewResources(500, 0, 0, 0))
+	want := energy.A2.PowerAt(0.5)
+	if got := s.PowerW(); got != want {
+		t.Errorf("half-load power = %v, want %v", got, want)
+	}
+}
+
+func TestServerConcurrentAllocation(t *testing.T) {
+	s := NewServer("s1", "dc1", energy.A2, NewResources(1000, 0, 0, 0))
+	_ = s.SetState(PoweredOn)
+	var wg sync.WaitGroup
+	errs := make([]error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Allocate(string(rune('a'+i%26))+string(rune('0'+i/26)), NewResources(100, 0, 0, 0))
+		}(i)
+	}
+	wg.Wait()
+	ok := 0
+	for _, err := range errs {
+		if err == nil {
+			ok++
+		}
+	}
+	// Capacity admits exactly 10 allocations of 100 millicores.
+	if ok != 10 {
+		t.Errorf("%d allocations succeeded, want 10", ok)
+	}
+	if got := s.Used()[ResCPUMilli]; got != 1000 {
+		t.Errorf("used = %v, want exactly 1000", got)
+	}
+}
+
+func TestDataCenterAggregation(t *testing.T) {
+	dc := NewDataCenter("dc1", "Miami", geo.Point{Lat: 25.76, Lon: -80.19}, "US-FL-MIA", "Miami")
+	s1 := newTestServer("s1")
+	s2 := newTestServer("s2")
+	if err := dc.AddServer(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.AddServer(s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.AddServer(s1); err == nil {
+		t.Error("duplicate server accepted")
+	}
+	wrong := NewServer("s3", "other-dc", energy.A2, Resources{})
+	if err := dc.AddServer(wrong); err == nil {
+		t.Error("server with mismatched DC accepted")
+	}
+	if got := dc.TotalCapacity()[ResCPUMilli]; got != 8000 {
+		t.Errorf("TotalCapacity cpu = %v, want 8000", got)
+	}
+	_ = s1.Allocate("a", NewResources(1000, 0, 0, 0))
+	if got := dc.TotalUsed()[ResCPUMilli]; got != 1000 {
+		t.Errorf("TotalUsed cpu = %v", got)
+	}
+	if got := dc.PowerW(); got <= 2*energy.A2.IdleW-1 {
+		t.Errorf("DC power = %v, want at least both idle draws", got)
+	}
+	if dc.Server("s2") != s2 || dc.Server("zz") != nil {
+		t.Error("Server lookup broken")
+	}
+}
+
+func TestClusterLookups(t *testing.T) {
+	dc1 := NewDataCenter("dc1", "A", geo.Point{Lat: 1, Lon: 1}, "z1", "c1")
+	dc2 := NewDataCenter("dc2", "B", geo.Point{Lat: 2, Lon: 2}, "z2", "c2")
+	s1 := NewServer("s1", "dc1", energy.A2, Resources{})
+	s2 := NewServer("s2", "dc2", energy.OrinNano, Resources{})
+	_ = dc1.AddServer(s1)
+	_ = dc2.AddServer(s2)
+
+	c, err := NewCluster([]*DataCenter{dc1, dc2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Servers()) != 2 {
+		t.Errorf("Servers = %d", len(c.Servers()))
+	}
+	srv, dc, err := c.FindServer("s2")
+	if err != nil || srv != s2 || dc != dc2 {
+		t.Errorf("FindServer = %v %v %v", srv, dc, err)
+	}
+	if _, _, err := c.FindServer("nope"); err == nil {
+		t.Error("unknown server lookup should error")
+	}
+	if _, err := NewCluster([]*DataCenter{dc1, dc1}); err == nil {
+		t.Error("duplicate DC accepted")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	dc := NewDataCenter("dc1", "A", geo.Point{Lat: 1, Lon: 1}, "z1", "c1")
+	for _, id := range []string{"s3", "s1", "s2"} {
+		_ = dc.AddServer(NewServer(id, "dc1", energy.A2, NewResources(10, 10, 10, 10)))
+	}
+	c, _ := NewCluster([]*DataCenter{dc})
+	snap := c.Snapshot()
+	if len(snap.Servers) != 3 {
+		t.Fatalf("snapshot servers = %d", len(snap.Servers))
+	}
+	for i := 1; i < len(snap.Servers); i++ {
+		if snap.Servers[i-1].ServerID >= snap.Servers[i].ServerID {
+			t.Error("snapshot not sorted by server ID")
+		}
+	}
+	st := snap.Servers[0]
+	if st.ZoneID != "z1" || st.City != "c1" || st.State != PoweredOff {
+		t.Errorf("snapshot state = %+v", st)
+	}
+}
+
+func TestResourceKindStrings(t *testing.T) {
+	if ResCPUMilli.String() != "cpu_milli" || ResNetMbps.String() != "net_mbps" {
+		t.Error("resource kind names wrong")
+	}
+	if !strings.Contains(ResourceKind(9).String(), "9") {
+		t.Error("out-of-range kind should include number")
+	}
+	if len(ResourceKinds()) != int(numResources) {
+		t.Error("ResourceKinds incomplete")
+	}
+}

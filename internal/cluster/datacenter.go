@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// DataCenter is one edge site: a set of servers at a location, mapped to a
+// carbon zone and to its nearest latency-trace city (§6.1.1 integration
+// rules).
+type DataCenter struct {
+	ID       string
+	Name     string
+	Location geo.Point
+	// ZoneID is the carbon zone supplying the site's electricity.
+	ZoneID string
+	// City is the nearest latency-dataset city, used for pairwise
+	// latency lookups.
+	City string
+
+	servers []*Server
+	byID    map[string]*Server
+}
+
+// NewDataCenter creates an empty data center.
+func NewDataCenter(id, name string, loc geo.Point, zoneID, city string) *DataCenter {
+	return &DataCenter{
+		ID: id, Name: name, Location: loc, ZoneID: zoneID, City: city,
+		byID: make(map[string]*Server),
+	}
+}
+
+// AddServer registers a server with the data center. Server IDs must be
+// unique within the DC and the server's DC field must match.
+func (dc *DataCenter) AddServer(s *Server) error {
+	if s.DC != dc.ID {
+		return fmt.Errorf("cluster: server %s belongs to DC %s, not %s", s.ID, s.DC, dc.ID)
+	}
+	if _, dup := dc.byID[s.ID]; dup {
+		return fmt.Errorf("cluster: duplicate server %s in DC %s", s.ID, dc.ID)
+	}
+	dc.byID[s.ID] = s
+	dc.servers = append(dc.servers, s)
+	return nil
+}
+
+// Servers returns the DC's servers in registration order (do not modify).
+func (dc *DataCenter) Servers() []*Server { return dc.servers }
+
+// Server returns a server by ID, or nil.
+func (dc *DataCenter) Server(id string) *Server { return dc.byID[id] }
+
+// TotalCapacity sums capacity over all servers.
+func (dc *DataCenter) TotalCapacity() Resources {
+	var total Resources
+	for _, s := range dc.servers {
+		total = total.Add(s.Capacity)
+	}
+	return total
+}
+
+// TotalUsed sums allocations over all servers.
+func (dc *DataCenter) TotalUsed() Resources {
+	var total Resources
+	for _, s := range dc.servers {
+		total = total.Add(s.Used())
+	}
+	return total
+}
+
+// PowerW sums the current power draw over all servers.
+func (dc *DataCenter) PowerW() float64 {
+	var total float64
+	for _, s := range dc.servers {
+		total += s.PowerW()
+	}
+	return total
+}
+
+// Cluster is the set of edge data centers managed by one CarbonEdge
+// instance — the "mesoscale edge data centers" of Figure 6.
+type Cluster struct {
+	dcs  []*DataCenter
+	byID map[string]*DataCenter
+}
+
+// NewCluster builds a cluster from data centers. IDs must be unique.
+func NewCluster(dcs []*DataCenter) (*Cluster, error) {
+	c := &Cluster{byID: make(map[string]*DataCenter, len(dcs))}
+	for _, dc := range dcs {
+		if _, dup := c.byID[dc.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate data center %s", dc.ID)
+		}
+		c.byID[dc.ID] = dc
+		c.dcs = append(c.dcs, dc)
+	}
+	return c, nil
+}
+
+// DataCenters returns the cluster's DCs in registration order.
+func (c *Cluster) DataCenters() []*DataCenter { return c.dcs }
+
+// DataCenter returns a DC by ID, or nil.
+func (c *Cluster) DataCenter(id string) *DataCenter { return c.byID[id] }
+
+// Servers returns every server in the cluster, ordered by DC then server
+// registration order.
+func (c *Cluster) Servers() []*Server {
+	var out []*Server
+	for _, dc := range c.dcs {
+		out = append(out, dc.servers...)
+	}
+	return out
+}
+
+// FindServer locates a server by ID anywhere in the cluster.
+func (c *Cluster) FindServer(id string) (*Server, *DataCenter, error) {
+	for _, dc := range c.dcs {
+		if s := dc.byID[id]; s != nil {
+			return s, dc, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("cluster: no server %q", id)
+}
+
+// Snapshot captures a consistent view of per-server state for the
+// placement service (Algorithm 1's GetServerStates step).
+type Snapshot struct {
+	Servers []ServerState
+}
+
+// ServerState is one server's state at snapshot time.
+type ServerState struct {
+	ServerID string
+	DCID     string
+	ZoneID   string
+	City     string
+	Device   string
+	State    PowerState
+	Free     Resources
+	Capacity Resources
+	IdleW    float64
+}
+
+// Snapshot captures all server states, ordered deterministically by server
+// ID for reproducible optimization input.
+func (c *Cluster) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, dc := range c.dcs {
+		for _, s := range dc.servers {
+			snap.Servers = append(snap.Servers, ServerState{
+				ServerID: s.ID,
+				DCID:     dc.ID,
+				ZoneID:   dc.ZoneID,
+				City:     dc.City,
+				Device:   s.Device.Name,
+				State:    s.State(),
+				Free:     s.Free(),
+				Capacity: s.Capacity,
+				IdleW:    s.Device.IdleW,
+			})
+		}
+	}
+	sort.Slice(snap.Servers, func(i, j int) bool {
+		return snap.Servers[i].ServerID < snap.Servers[j].ServerID
+	})
+	return snap
+}

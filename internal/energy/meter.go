@@ -1,0 +1,93 @@
+package energy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Meter is a RAPL-style cumulative energy counter: callers record intervals
+// of observed power draw, and the meter integrates them into joules. The
+// telemetry service exposes one meter per server (§5.1, "Power
+// Monitoring"), mirroring how RAPL exposes package energy for CPUs and
+// DCGM exposes board energy for GPUs.
+//
+// A Meter is safe for concurrent use.
+type Meter struct {
+	mu      sync.Mutex
+	joules  float64
+	lastW   float64
+	samples int
+}
+
+// Record integrates p watts over duration d.
+func (m *Meter) Record(p float64, d time.Duration) {
+	if p < 0 || d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joules += p * d.Seconds()
+	m.lastW = p
+	m.samples++
+}
+
+// RecordJoules adds a pre-computed energy amount.
+func (m *Meter) RecordJoules(j float64) {
+	if j <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joules += j
+	m.samples++
+}
+
+// TotalJoules returns the cumulative energy.
+func (m *Meter) TotalJoules() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.joules
+}
+
+// TotalKWh returns the cumulative energy in kilowatt-hours, the unit carbon
+// intensity is quoted against.
+func (m *Meter) TotalKWh() float64 { return m.TotalJoules() / 3.6e6 }
+
+// LastWatts returns the most recently recorded power level.
+func (m *Meter) LastWatts() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastW
+}
+
+// Samples returns the number of recordings.
+func (m *Meter) Samples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joules, m.lastW, m.samples = 0, 0, 0
+}
+
+// String implements fmt.Stringer.
+func (m *Meter) String() string {
+	return fmt.Sprintf("Meter(%.1f J, last %.1f W)", m.TotalJoules(), m.LastWatts())
+}
+
+// JoulesToGrams converts energy (J) at a given carbon intensity
+// (g.CO2eq/kWh) to grams of CO2-equivalent — the core accounting identity
+// used everywhere in CarbonEdge: emissions = energy x intensity.
+func JoulesToGrams(joules, intensityGPerKWh float64) float64 {
+	return joules / 3.6e6 * intensityGPerKWh
+}
+
+// KWhToGrams converts kWh at a given carbon intensity to grams CO2eq.
+func KWhToGrams(kwh, intensityGPerKWh float64) float64 {
+	return kwh * intensityGPerKWh
+}

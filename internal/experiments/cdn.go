@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/carbon"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/timeseries"
+)
+
+// cdnConfig builds the base CDN simulation config for a region.
+func (s *Suite) cdnConfig(region carbon.Region, pol placement.Policy) sim.Config {
+	cfg := sim.DefaultConfig(region, pol)
+	cfg.Seed = s.Seed
+	cfg.Hours = s.CDNHours
+	return cfg
+}
+
+// Fig11Result reproduces Figure 11: year-long CDN savings, latency
+// increases, and the load-distribution CDF.
+type Fig11Result struct {
+	US, Europe sim.Savings
+	// LoadCDF holds CDF points of execution-weighted carbon intensity
+	// per region and policy, keyed "US/CarbonEdge" etc.
+	LoadCDF map[string][]timeseries.CDFPoint
+}
+
+// Fig11 runs the CDN simulation for both regions and policies.
+func (s *Suite) Fig11() (*Fig11Result, error) {
+	res := &Fig11Result{LoadCDF: map[string][]timeseries.CDFPoint{}}
+	for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
+		cfgCE := s.cdnConfig(region, placement.CarbonAware{})
+		cfgCE.CollectLoadCI = true
+		ce, err := sim.Run(cfgCE, s.World)
+		if err != nil {
+			return nil, err
+		}
+		cfgLA := s.cdnConfig(region, placement.LatencyAware{})
+		cfgLA.CollectLoadCI = true
+		la, err := sim.Run(cfgLA, s.World)
+		if err != nil {
+			return nil, err
+		}
+		sv := sim.CompareToBaseline(ce, la)
+		key := region.String()
+		res.LoadCDF[key+"/CarbonEdge"] = timeseries.NewCDF(ce.LoadCI).Points(20)
+		res.LoadCDF[key+"/Latency-aware"] = timeseries.NewCDF(la.LoadCI).Points(20)
+		if region == carbon.RegionUS {
+			res.US = sv
+		} else {
+			res.Europe = sv
+		}
+	}
+	return res, nil
+}
+
+// String renders the headline savings and CDF deciles.
+func (r *Fig11Result) String() string {
+	rows := [][]string{
+		{"region", "carbon saving %", "latency +ms RTT"},
+		{"US", f1(r.US.CarbonSavingPct), f1(r.US.LatencyIncreaseMs)},
+		{"Europe", f1(r.Europe.CarbonSavingPct), f1(r.Europe.LatencyIncreaseMs)},
+	}
+	out := table("Figure 11: year-long CDN results (paper: 49.5% US / 67.8% EU, +10.8/+10.5 ms)", rows)
+	rows = [][]string{{"series", "p10 CI", "p50 CI", "p90 CI"}}
+	for _, key := range []string{"US/Latency-aware", "US/CarbonEdge", "Europe/Latency-aware", "Europe/CarbonEdge"} {
+		pts := r.LoadCDF[key]
+		if len(pts) == 0 {
+			continue
+		}
+		q := func(p float64) string {
+			best := pts[0].Value
+			for _, pt := range pts {
+				if pt.Prob <= p {
+					best = pt.Value
+				}
+			}
+			return f1(best)
+		}
+		rows = append(rows, []string{key, q(0.1), q(0.5), q(0.9)})
+	}
+	return out + table("Figure 11c: load distribution over carbon intensity", rows)
+}
+
+// Fig12Point is one latency-limit sweep sample.
+type Fig12Point struct {
+	LimitMs float64
+	US, EU  sim.Savings
+}
+
+// Fig12Result reproduces Figure 12's latency-tolerance sweep.
+type Fig12Result struct {
+	Points []Fig12Point
+}
+
+// Fig12 sweeps the round-trip latency limit.
+func (s *Suite) Fig12() (*Fig12Result, error) {
+	res := &Fig12Result{}
+	for _, limit := range []float64{5, 10, 15, 20, 25, 30} {
+		pt := Fig12Point{LimitMs: limit}
+		for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
+			cfgCE := s.cdnConfig(region, placement.CarbonAware{})
+			cfgCE.RTTLimitMs = limit
+			ce, err := sim.Run(cfgCE, s.World)
+			if err != nil {
+				return nil, err
+			}
+			cfgLA := s.cdnConfig(region, placement.LatencyAware{})
+			cfgLA.RTTLimitMs = limit
+			la, err := sim.Run(cfgLA, s.World)
+			if err != nil {
+				return nil, err
+			}
+			sv := sim.CompareToBaseline(ce, la)
+			if region == carbon.RegionUS {
+				pt.US = sv
+			} else {
+				pt.EU = sv
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// String renders the sweep series.
+func (r *Fig12Result) String() string {
+	rows := [][]string{{"limit (ms)", "US saving %", "US +ms", "EU saving %", "EU +ms"}}
+	for _, pt := range r.Points {
+		rows = append(rows, []string{f1(pt.LimitMs),
+			f1(pt.US.CarbonSavingPct), f1(pt.US.LatencyIncreaseMs),
+			f1(pt.EU.CarbonSavingPct), f1(pt.EU.LatencyIncreaseMs)})
+	}
+	return table("Figure 12: effect of latency tolerance (paper: 28%/44.8% @10ms, diminishing returns)", rows)
+}
+
+// Fig13Result reproduces Figure 13's seasonality analysis.
+type Fig13Result struct {
+	// MonthlySavingPct per region per month (index 0 = January).
+	MonthlySavingPct map[string][12]float64
+	// MonthlyLatencyMs per region per month (mean RTT increase).
+	MonthlyLatencyMs map[string][12]float64
+	// ZoneMonthlyCI tracks the Figure 13c anchor zones.
+	ZoneMonthlyCI map[string][]float64
+	// CityMonthlyPlacements tracks Figure 13d anchor cities under
+	// CarbonEdge, keyed city -> 12 counts.
+	CityMonthlyPlacements map[string][12]int64
+}
+
+// Fig13AnchorZones are the zones Figure 13c tracks.
+var Fig13AnchorZones = []string{"FR-PAR", "NO-OSL", "AT-VIE", "HR-ZAG"}
+
+// Fig13AnchorCities are the cities Figure 13d tracks.
+var Fig13AnchorCities = []string{"Paris", "Oslo", "Vienna", "Zagreb"}
+
+// Fig13 computes seasonal savings and placement fluctuations.
+func (s *Suite) Fig13() (*Fig13Result, error) {
+	res := &Fig13Result{
+		MonthlySavingPct:      map[string][12]float64{},
+		MonthlyLatencyMs:      map[string][12]float64{},
+		ZoneMonthlyCI:         map[string][]float64{},
+		CityMonthlyPlacements: map[string][12]int64{},
+	}
+	for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
+		ce, err := sim.Run(s.cdnConfig(region, placement.CarbonAware{}), s.World)
+		if err != nil {
+			return nil, err
+		}
+		la, err := sim.Run(s.cdnConfig(region, placement.LatencyAware{}), s.World)
+		if err != nil {
+			return nil, err
+		}
+		var save, lat [12]float64
+		for m := 0; m < 12; m++ {
+			if la.MonthlyCarbonG[m] > 0 {
+				save[m] = (la.MonthlyCarbonG[m] - ce.MonthlyCarbonG[m]) / la.MonthlyCarbonG[m] * 100
+			}
+			if ce.MonthlyLatency[m].N() > 0 && la.MonthlyLatency[m].N() > 0 {
+				lat[m] = ce.MonthlyLatency[m].Mean() - la.MonthlyLatency[m].Mean()
+			}
+		}
+		res.MonthlySavingPct[region.String()] = save
+		res.MonthlyLatencyMs[region.String()] = lat
+		if region == carbon.RegionEurope {
+			for _, city := range Fig13AnchorCities {
+				var counts [12]int64
+				for m := 0; m < 12; m++ {
+					counts[m] = ce.MonthlyPlacements.Get(fmt.Sprintf("%s/%d", city, m))
+				}
+				res.CityMonthlyPlacements[city] = counts
+			}
+		}
+	}
+	for _, id := range Fig13AnchorZones {
+		tr := s.Traces().Trace(id)
+		if tr == nil {
+			return nil, fmt.Errorf("experiments: no trace for anchor zone %s", id)
+		}
+		for _, m := range tr.MonthlyMeans() {
+			res.ZoneMonthlyCI[id] = append(res.ZoneMonthlyCI[id], m.Mean)
+		}
+	}
+	return res, nil
+}
+
+// String renders the seasonality tables.
+func (r *Fig13Result) String() string {
+	var b strings.Builder
+	rows := [][]string{{"region", "min month %", "max month %", "spread"}}
+	for _, region := range []string{"US", "Europe"} {
+		save := r.MonthlySavingPct[region]
+		lo, hi := save[0], save[0]
+		for _, v := range save {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		rows = append(rows, []string{region, f1(lo), f1(hi), f1(hi - lo)})
+	}
+	b.WriteString(table("Figure 13a: monthly carbon-saving spread (paper: 3.3% US, 9.9% EU)", rows))
+
+	rows = [][]string{{"zone", "min CI", "max CI"}}
+	for _, id := range Fig13AnchorZones {
+		ms := r.ZoneMonthlyCI[id]
+		if len(ms) == 0 {
+			continue
+		}
+		lo, hi := ms[0], ms[0]
+		for _, v := range ms {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		rows = append(rows, []string{id, f1(lo), f1(hi)})
+	}
+	b.WriteString(table("Figure 13c: anchor-zone monthly CI", rows))
+
+	rows = [][]string{{"city", "min placements/mo", "max placements/mo"}}
+	for _, city := range Fig13AnchorCities {
+		counts := r.CityMonthlyPlacements[city]
+		lo, hi := counts[0], counts[0]
+		for _, v := range counts {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		rows = append(rows, []string{city, fmt.Sprint(lo), fmt.Sprint(hi)})
+	}
+	b.WriteString(table("Figure 13d: anchor-city monthly placements under CarbonEdge (paper: up to 3x swing)", rows))
+	return b.String()
+}
+
+// Fig14Row is one scenario cell of Figure 14.
+type Fig14Row struct {
+	Region   string
+	Scenario string
+	Savings  sim.Savings
+}
+
+// Fig14Result reproduces Figure 14's demand/capacity study.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14 runs the three distribution scenarios per region.
+func (s *Suite) Fig14() (*Fig14Result, error) {
+	res := &Fig14Result{}
+	type scenario struct {
+		name             string
+		demand, capacity sim.Scenario
+	}
+	scenarios := []scenario{
+		{"Homo", sim.Uniform, sim.Uniform},
+		{"Demand", sim.ByPopulation, sim.Uniform},
+		{"Capacity", sim.Uniform, sim.ByPopulation},
+	}
+	for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
+		for _, scn := range scenarios {
+			cfgCE := s.cdnConfig(region, placement.CarbonAware{})
+			cfgCE.Demand, cfgCE.Capacity = scn.demand, scn.capacity
+			ce, err := sim.Run(cfgCE, s.World)
+			if err != nil {
+				return nil, err
+			}
+			cfgLA := s.cdnConfig(region, placement.LatencyAware{})
+			cfgLA.Demand, cfgLA.Capacity = scn.demand, scn.capacity
+			la, err := sim.Run(cfgLA, s.World)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig14Row{
+				Region: region.String(), Scenario: scn.name,
+				Savings: sim.CompareToBaseline(ce, la),
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the scenario table.
+func (r *Fig14Result) String() string {
+	rows := [][]string{{"region", "scenario", "carbon saving %", "latency +ms"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Region, row.Scenario,
+			f1(row.Savings.CarbonSavingPct), f1(row.Savings.LatencyIncreaseMs)})
+	}
+	return table("Figure 14: effect of demand and capacity distribution (paper: <=6% US shifts, <1.6% EU)", rows)
+}

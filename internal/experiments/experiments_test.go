@@ -1,0 +1,461 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+	suiteErr  error
+)
+
+// testSuite shares one world across tests, with a short CDN span so the
+// simulation-backed experiments stay fast.
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = NewSuite(42, 24*21) })
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func TestFig1SharesAndSeries(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poland is coal-dominated; Ontario is nuclear+hydro dominated.
+	pl := r.Shares["PL"]
+	if fossil := pl[5] + pl[6] + pl[7]; fossil < 0.5 {
+		t.Errorf("Poland fossil share %.2f, want > 0.5", fossil)
+	}
+	on := r.Shares["CA-ON"]
+	if lowC := on[2] + on[3]; lowC < 0.6 {
+		t.Errorf("Ontario hydro+nuclear share %.2f, want > 0.6", lowC)
+	}
+	for _, id := range r.Zones {
+		if len(r.Series[id]) != 96 {
+			t.Errorf("%s series %d samples, want 96", id, len(r.Series[id]))
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 1a") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig2SnapshotOrdering(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Snapshots) != 4 {
+		t.Fatalf("snapshots = %d", len(r.Snapshots))
+	}
+	ratios := map[string]float64{}
+	for _, snap := range r.Snapshots {
+		ratios[snap.Region] = snap.MinMaxRatio
+		if snap.MinMaxRatio < 1 {
+			t.Errorf("%s ratio %.2f < 1", snap.Region, snap.MinMaxRatio)
+		}
+	}
+	if ratios["Central EU"] <= ratios["Florida"] {
+		t.Errorf("Central EU spread (%.1f) should exceed Florida (%.1f)", ratios["Central EU"], ratios["Florida"])
+	}
+}
+
+func TestFig3Ratios(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WestRatio < 2 || r.WestRatio > 3.5 {
+		t.Errorf("West US ratio %.2f, paper: 2.7", r.WestRatio)
+	}
+	if r.EURatio < 7 || r.EURatio > 15 {
+		t.Errorf("Central EU ratio %.2f, paper: 10.8", r.EURatio)
+	}
+}
+
+func TestFig4Swings(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ZoneNames) != 5 {
+		t.Fatalf("zones = %v", r.ZoneNames)
+	}
+	for _, name := range r.ZoneNames {
+		if len(r.TwoDay[name]) != 48 || len(r.Monthly[name]) != 12 {
+			t.Errorf("%s series lengths %d/%d", name, len(r.TwoDay[name]), len(r.Monthly[name]))
+		}
+	}
+	// Kingman's solar reliance gives it a big seasonal swing (paper:
+	// ~200 g/kWh between March and November).
+	mk := r.Monthly["Kingman"]
+	lo, hi := mk[0], mk[0]
+	for _, v := range mk {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 30 {
+		t.Errorf("Kingman seasonal swing %.0f g/kWh, expected substantial", hi-lo)
+	}
+}
+
+func TestTable1Matrices(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Florida.Len() != 5 || r.CentralEU.Len() != 5 {
+		t.Fatalf("matrix sizes %d/%d", r.Florida.Len(), r.CentralEU.Len())
+	}
+	lo, _, hi := r.Florida.Stats()
+	if lo < 0.5 || hi > 12 {
+		t.Errorf("Florida latencies [%.1f, %.1f] ms outside paper band", lo, hi)
+	}
+	lo, _, hi = r.CentralEU.Stats()
+	if lo < 1 || hi > 25 {
+		t.Errorf("Central EU latencies [%.1f, %.1f] ms outside paper band", lo, hi)
+	}
+}
+
+func TestFig5Monotone(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Summaries) != 3 {
+		t.Fatalf("summaries = %d", len(r.Summaries))
+	}
+	for i := 1; i < 3; i++ {
+		if r.Summaries[i].FracAbove40 < r.Summaries[i-1].FracAbove40 {
+			t.Error("saving fraction should grow with radius")
+		}
+	}
+}
+
+func TestFig7Render(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Profiles) != 10 {
+		t.Errorf("profiles = %d, want 10", len(r.Profiles))
+	}
+}
+
+func TestFig8And9(t *testing.T) {
+	s := testSuite(t)
+	r9, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r9.MeanIncreaseMs < 0 {
+		t.Errorf("mean response increase %.2f ms negative", r9.MeanIncreaseMs)
+	}
+	if r9.MaxIncreaseMs > 25 {
+		t.Errorf("max response increase %.2f ms, paper reports < 10.1", r9.MaxIncreaseMs)
+	}
+}
+
+func TestFig10Savings(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var fl, eu float64
+	for _, row := range r.Rows {
+		if row.SavingPct <= 0 {
+			t.Errorf("%s/%s: no saving (%.1f%%)", row.Region, row.App, row.SavingPct)
+		}
+		if row.App == "ResNet50" {
+			switch row.Region {
+			case "Florida":
+				fl = row.SavingPct
+			case "Central EU":
+				eu = row.SavingPct
+			}
+		}
+	}
+	if eu <= fl {
+		t.Errorf("Central EU saving %.1f%% <= Florida %.1f%% (paper: 78.7%% vs 39.4%%)", eu, fl)
+	}
+}
+
+func TestFig11HeadlineShape(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.US.CarbonSavingPct < 10 || r.Europe.CarbonSavingPct < 10 {
+		t.Errorf("savings US %.1f%% / EU %.1f%%, both should be >= 10%%", r.US.CarbonSavingPct, r.Europe.CarbonSavingPct)
+	}
+	if r.Europe.CarbonSavingPct <= r.US.CarbonSavingPct {
+		t.Errorf("EU %.1f%% <= US %.1f%%", r.Europe.CarbonSavingPct, r.US.CarbonSavingPct)
+	}
+	if r.US.LatencyIncreaseMs > 20 || r.Europe.LatencyIncreaseMs > 20 {
+		t.Errorf("latency increases exceed the RTT limit: %+v", r)
+	}
+	if len(r.LoadCDF) != 4 {
+		t.Errorf("load CDFs = %d series", len(r.LoadCDF))
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.EU.CarbonSavingPct <= first.EU.CarbonSavingPct {
+		t.Errorf("EU savings flat across limits: %.1f -> %.1f", first.EU.CarbonSavingPct, last.EU.CarbonSavingPct)
+	}
+	if last.EU.LatencyIncreaseMs <= first.EU.LatencyIncreaseMs {
+		t.Errorf("EU latency overhead should grow with the limit")
+	}
+}
+
+func TestFig14ScenariosComplete(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 2 regions x 3 scenarios", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Savings.CarbonSavingPct <= 0 {
+			t.Errorf("%s/%s: saving %.1f%%", row.Region, row.Scenario, row.Savings.CarbonSavingPct)
+		}
+	}
+}
+
+func TestFig15PolicyOrdering(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 16 {
+		t.Fatalf("rows = %d, want 4 pools x 4 policies", len(r.Rows))
+	}
+	cell := func(pool, policy string) Fig15Row {
+		for _, row := range r.Rows {
+			if row.Pool == pool && row.Policy == policy {
+				return row
+			}
+		}
+		t.Fatalf("missing cell %s/%s", pool, policy)
+		return Fig15Row{}
+	}
+	// On the heterogeneous pool, CarbonEdge must beat every baseline on
+	// carbon (the 98.4%/79%/63% result).
+	ce := cell("Hetero.", "CarbonEdge")
+	for _, base := range []string{"Latency-aware", "Intensity-aware", "Energy-aware"} {
+		if ce.CarbonG >= cell("Hetero.", base).CarbonG {
+			t.Errorf("CarbonEdge carbon %.0f >= %s %.0f on Hetero", ce.CarbonG, base, cell("Hetero.", base).CarbonG)
+		}
+	}
+	// Energy-aware must use the least energy on the hetero pool.
+	ea := cell("Hetero.", "Energy-aware")
+	if ea.EnergyKWh > ce.EnergyKWh {
+		t.Errorf("Energy-aware energy %.2f > CarbonEdge %.2f", ea.EnergyKWh, ce.EnergyKWh)
+	}
+	// Orin pool consumes far less energy than GTX pool under any policy
+	// (the 95.6% observation).
+	if cell(energyOrin(), "Latency-aware").EnergyKWh >= cell("GTX 1080", "Latency-aware").EnergyKWh {
+		t.Error("Orin pool should use less energy than GTX pool")
+	}
+}
+
+func energyOrin() string { return "Orin Nano" }
+
+func TestFig16TradeoffEndpoints(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pts := range map[string][]Fig16Point{"low": r.Low, "high": r.High} {
+		if len(pts) != 11 {
+			t.Fatalf("%s: %d points", name, len(pts))
+		}
+		// alpha=1 (pure energy) must use no more energy than alpha=0
+		// (pure carbon); alpha=0 must emit no more carbon than alpha=1.
+		if pts[10].EnergyKWh > pts[0].EnergyKWh+1e-9 {
+			t.Errorf("%s: energy at alpha=1 (%.2f) exceeds alpha=0 (%.2f)", name, pts[10].EnergyKWh, pts[0].EnergyKWh)
+		}
+		if pts[0].CarbonG > pts[10].CarbonG+1e-9 {
+			t.Errorf("%s: carbon at alpha=0 (%.0f) exceeds alpha=1 (%.0f)", name, pts[0].CarbonG, pts[10].CarbonG)
+		}
+	}
+}
+
+func TestFig17WithinPaperEnvelope(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range append(append([]Fig17Point{}, r.ByServers...), r.ByApps...) {
+		if pt.SolveTime > 3*time.Second {
+			t.Errorf("%d servers x %d apps took %v, paper bound is 3 s", pt.Servers, pt.Apps, pt.SolveTime)
+		}
+		if pt.AllocMB > 200 {
+			t.Errorf("%d servers x %d apps allocated %.0f MB, paper bound is 200 MB", pt.Servers, pt.Apps, pt.AllocMB)
+		}
+	}
+}
+
+func TestOverheadWithinPaperScale(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Batches == 0 {
+		t.Fatal("no batches measured")
+	}
+	// Paper: ~3.3 ms per decision; allow generous slack for CI noise.
+	if r.PlacementMs > 500 {
+		t.Errorf("placement decision %.1f ms, unexpectedly slow", r.PlacementMs)
+	}
+}
+
+func TestAblationSolverGapSmall(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.AblationSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HeurFeasible {
+		t.Error("heuristic produced infeasible assignments")
+	}
+	if r.MeanGapPct > 10 {
+		t.Errorf("mean optimality gap %.1f%%, want <= 10%%", r.MeanGapPct)
+	}
+}
+
+func TestAblationForecastOracleBest(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.AblationForecast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := r.CarbonG["oracle"]
+	for name, v := range r.CarbonG {
+		if v < oracle-1e-6 {
+			t.Errorf("%s (%.0f g) beat the oracle (%.0f g)", name, v, oracle)
+		}
+	}
+	if len(r.CarbonG) != 3 {
+		t.Errorf("forecasters = %d", len(r.CarbonG))
+	}
+}
+
+func TestAblationBatch(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.AblationBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Batches[1] <= r.Batches[12] {
+		t.Errorf("hourly batching (%d invocations) should invoke more than 12-hourly (%d)", r.Batches[1], r.Batches[12])
+	}
+}
+
+func TestAblationActivation(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.AblationActivation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the activation term the policy wakes servers freely, so
+	// it should consume at least as much energy.
+	if r.WithoutKWh < r.WithTermKWh-1e-6 {
+		t.Errorf("no-activation energy %.2f kWh below with-term %.2f kWh", r.WithoutKWh, r.WithTermKWh)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"table1", "overhead", "ablation-solver", "ablation-forecast",
+		"ablation-batch", "ablation-activation"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+	if _, err := Run(testSuite(t), "no-such-exp"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig13Seasonality(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ZoneMonthlyCI["FR-PAR"]) != 12 {
+		t.Errorf("Paris monthly CI = %d samples", len(r.ZoneMonthlyCI["FR-PAR"]))
+	}
+	if _, ok := r.MonthlySavingPct["Europe"]; !ok {
+		t.Error("missing Europe monthly savings")
+	}
+	if !strings.Contains(r.String(), "Figure 13a") {
+		t.Error("render missing 13a header")
+	}
+}
+
+func TestExtRedeploy(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.ExtRedeploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Migrations == 0 {
+		t.Error("redeployment extension migrated nothing")
+	}
+	// Redeployment with a realistic (small) data-movement cost should
+	// not be materially worse than static placement.
+	if r.RedeployCarbonG > r.StaticCarbonG*1.05 {
+		t.Errorf("redeployment carbon %.0f g vs static %.0f g", r.RedeployCarbonG, r.StaticCarbonG)
+	}
+	if !strings.Contains(r.String(), "redeployment") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"repro/internal/carbon"
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// Fig15Row is one (device pool, policy) cell of Figure 15.
+type Fig15Row struct {
+	Pool      string
+	Policy    string
+	CarbonG   float64
+	EnergyKWh float64
+}
+
+// Fig15Result reproduces Figure 15's heterogeneity study.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// fig15Policies are the four policies Figure 15 compares.
+func fig15Policies() []placement.Policy {
+	return []placement.Policy{
+		placement.LatencyAware{},
+		placement.EnergyAware{},
+		placement.IntensityAware{},
+		placement.CarbonAware{},
+	}
+}
+
+// Fig15 runs the mixed-model workload over four device pools x four
+// policies in the European deployment. Base power accrues (servers power
+// on and off), which is what makes the energy-efficiency differences in
+// Figure 7 matter.
+func (s *Suite) Fig15() (*Fig15Result, error) {
+	pools := []struct {
+		name    string
+		devices []string
+	}{
+		{energy.OrinNano.Name, []string{energy.OrinNano.Name}},
+		{energy.A2.Name, []string{energy.A2.Name}},
+		{energy.GTX1080.Name, []string{energy.GTX1080.Name}},
+		{"Hetero.", []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name}},
+	}
+	res := &Fig15Result{}
+	for _, pool := range pools {
+		for _, pol := range fig15Policies() {
+			cfg := s.cdnConfig(carbon.RegionEurope, pol)
+			cfg.Devices = pool.devices
+			cfg.Models = []string{energy.ModelEfficientNetB0, energy.ModelResNet50, energy.ModelYOLOv4}
+			cfg.ServersAlwaysOn = false
+			// Bound the span: heterogeneity conclusions stabilize well
+			// within a quarter.
+			if cfg.Hours > 24*90 {
+				cfg.Hours = 24 * 90
+			}
+			r, err := sim.Run(cfg, s.World)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig15Row{
+				Pool: pool.name, Policy: pol.Name(),
+				CarbonG: r.CarbonG, EnergyKWh: r.EnergyKWh,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the carbon/energy grid.
+func (r *Fig15Result) String() string {
+	rows := [][]string{{"pool", "policy", "carbon (g)", "energy (kWh)"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Pool, row.Policy, f1(row.CarbonG), f2(row.EnergyKWh)})
+	}
+	return table("Figure 15: heterogeneous pools x policies (paper: CarbonEdge cuts 98.4%/79%/63% vs Latency/Intensity/Energy-aware on Hetero)", rows)
+}
+
+// Fig16Point is one alpha sample of the carbon-energy trade-off.
+type Fig16Point struct {
+	Alpha     float64
+	CarbonG   float64
+	EnergyKWh float64
+}
+
+// Fig16Result reproduces Figure 16's trade-off sweep at two utilization
+// levels.
+type Fig16Result struct {
+	Low, High []Fig16Point
+}
+
+// Fig16 sweeps Eq. 8's alpha from 0 (pure carbon) to 1 (pure energy) in
+// the heterogeneous European deployment at low and high utilization.
+func (s *Suite) Fig16() (*Fig16Result, error) {
+	res := &Fig16Result{}
+	run := func(arrivals float64) ([]Fig16Point, error) {
+		var pts []Fig16Point
+		for alpha := 0.0; alpha <= 1.0001; alpha += 0.1 {
+			cfg := s.cdnConfig(carbon.RegionEurope, placement.NewCarbonEnergyBlend(alpha))
+			cfg.Devices = []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name}
+			cfg.Models = []string{energy.ModelEfficientNetB0, energy.ModelResNet50, energy.ModelYOLOv4}
+			cfg.ServersAlwaysOn = false
+			cfg.ArrivalsPerHour = arrivals
+			if cfg.Hours > 24*30 {
+				cfg.Hours = 24 * 30
+			}
+			r, err := sim.Run(cfg, s.World)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Fig16Point{Alpha: alpha, CarbonG: r.CarbonG, EnergyKWh: r.EnergyKWh})
+		}
+		return pts, nil
+	}
+	var err error
+	if res.Low, err = run(2); err != nil {
+		return nil, err
+	}
+	if res.High, err = run(14); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders the sweep tables.
+func (r *Fig16Result) String() string {
+	render := func(name string, pts []Fig16Point) string {
+		rows := [][]string{{"alpha", "carbon (g)", "energy (kWh)"}}
+		for _, pt := range pts {
+			rows = append(rows, []string{f1(pt.Alpha), f1(pt.CarbonG), f2(pt.EnergyKWh)})
+		}
+		return table("Figure 16 ("+name+" utilization): carbon-energy trade-off (paper: alpha=0.1 keeps 97.5% of savings at 67% less energy, low util)", rows)
+	}
+	return render("low", r.Low) + render("high", r.High)
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/carbon"
+	"repro/internal/geo"
+	"repro/internal/latency"
+)
+
+// Fig1Result reproduces Figure 1: yearly energy-mix shares and a four-day
+// carbon-intensity window for four reference zones.
+type Fig1Result struct {
+	Zones  []string
+	Shares map[string]carbon.Mix
+	// Series is the four-day hourly CI window (July 15-18).
+	Series map[string][]float64
+}
+
+// Fig1 computes the energy-mix and carbon-intensity comparison.
+func (s *Suite) Fig1() (*Fig1Result, error) {
+	res := &Fig1Result{
+		Zones:  []string{"CA-ON", "US-CAL", "US-NY", "PL"},
+		Shares: map[string]carbon.Mix{},
+		Series: map[string][]float64{},
+	}
+	gen := carbon.NewGenerator(s.Seed)
+	start := time.Date(2023, 7, 15, 0, 0, 0, 0, time.UTC)
+	from := int(start.Sub(gen.Start()) / time.Hour)
+	for _, id := range res.Zones {
+		z := s.Zones().ByID(id)
+		if z == nil {
+			return nil, fmt.Errorf("experiments: missing zone %s", id)
+		}
+		mixes := gen.Mixes(z)
+		var sum carbon.Mix
+		for _, m := range mixes {
+			for k, v := range m {
+				sum[k] += v
+			}
+		}
+		res.Shares[id] = sum.Shares()
+		tr := s.Traces().Trace(id)
+		win, err := tr.Slice(from, from+4*24)
+		if err != nil {
+			return nil, err
+		}
+		res.Series[id] = win.Values
+	}
+	return res, nil
+}
+
+// String renders the energy-mix table and series summary.
+func (r *Fig1Result) String() string {
+	rows := [][]string{{"zone", "hydro", "solar", "wind", "nuclear", "fossil"}}
+	for _, id := range r.Zones {
+		sh := r.Shares[id]
+		fossil := sh[carbon.Gas] + sh[carbon.Oil] + sh[carbon.Coal]
+		rows = append(rows, []string{id, f2(sh[carbon.Hydro]), f2(sh[carbon.Solar]),
+			f2(sh[carbon.Wind]), f2(sh[carbon.Nuclear]), f2(fossil)})
+	}
+	out := table("Figure 1a: yearly energy-source shares", rows)
+	rows = [][]string{{"zone", "meanCI", "minCI", "maxCI"}}
+	for _, id := range r.Zones {
+		lo, hi, sum := r.Series[id][0], r.Series[id][0], 0.0
+		for _, v := range r.Series[id] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			sum += v
+		}
+		rows = append(rows, []string{id, f1(sum / float64(len(r.Series[id]))), f1(lo), f1(hi)})
+	}
+	return out + table("Figure 1b: carbon intensity, July 15-18 (g.CO2eq/kWh)", rows)
+}
+
+// Fig2Result reproduces Figure 2's four mesoscale snapshots.
+type Fig2Result struct {
+	Snapshots []*analysis.RegionSnapshot
+}
+
+// Fig2 takes a single-hour snapshot of each paper region.
+func (s *Suite) Fig2() (*Fig2Result, error) {
+	at := s.Traces().Start.Add(5000 * time.Hour)
+	res := &Fig2Result{}
+	for _, reg := range analysis.PaperRegions() {
+		snap, err := analysis.Snapshot(reg, s.Zones(), s.Traces(), at)
+		if err != nil {
+			return nil, err
+		}
+		res.Snapshots = append(res.Snapshots, snap)
+	}
+	return res, nil
+}
+
+// String renders the snapshot table.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	for _, snap := range r.Snapshots {
+		rows := [][]string{{"zone", "CI (g/kWh)"}}
+		for _, z := range snap.Zones {
+			rows = append(rows, []string{z.Name, f1(z.Intensity)})
+		}
+		rows = append(rows, []string{"spread", fmt.Sprintf("%.1fx", snap.MinMaxRatio)})
+		header := fmt.Sprintf("Figure 2 (%s, %s, %.0fkm x %.0fkm)",
+			snap.Region, snap.At.Format("2006-01-02 15:00"), snap.SpanKmW, snap.SpanKmH)
+		b.WriteString(table(header, rows))
+	}
+	return b.String()
+}
+
+// Fig3Result reproduces Figure 3's yearly means with spread annotations.
+type Fig3Result struct {
+	WestUS, CentralEU  []analysis.YearlyStats
+	WestRatio, EURatio float64
+}
+
+// Fig3 computes yearly statistics for the two headline regions.
+func (s *Suite) Fig3() (*Fig3Result, error) {
+	regions := analysis.PaperRegions()
+	res := &Fig3Result{}
+	var err error
+	for _, reg := range regions {
+		switch reg.Name {
+		case "West US":
+			res.WestUS, res.WestRatio, err = analysis.Yearly(reg, s.Zones(), s.Traces())
+		case "Central EU":
+			res.CentralEU, res.EURatio, err = analysis.Yearly(reg, s.Zones(), s.Traces())
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// String renders the yearly tables.
+func (r *Fig3Result) String() string {
+	render := func(name string, stats []analysis.YearlyStats, ratio float64) string {
+		rows := [][]string{{"zone", "mean", "min", "max"}}
+		for _, st := range stats {
+			rows = append(rows, []string{st.Name, f1(st.Mean), f1(st.Min), f1(st.Max)})
+		}
+		rows = append(rows, []string{"max/min", fmt.Sprintf("%.1fx", ratio), "", ""})
+		return table("Figure 3: yearly carbon intensity, "+name+" (paper: 2.7x West US, 10.8x Central EU)", rows)
+	}
+	return render("West US", r.WestUS, r.WestRatio) + render("Central EU", r.CentralEU, r.EURatio)
+}
+
+// Fig4Result reproduces Figure 4: two-day diurnal CI and monthly means for
+// the West US zones.
+type Fig4Result struct {
+	ZoneNames []string
+	// TwoDay is 48 hourly samples per zone (Dec 25-27).
+	TwoDay map[string][]float64
+	// Monthly is 12 monthly means per zone.
+	Monthly map[string][]float64
+}
+
+// Fig4 computes the spatio-temporal variation series.
+func (s *Suite) Fig4() (*Fig4Result, error) {
+	reg := analysis.PaperRegions()[1] // West US
+	res := &Fig4Result{TwoDay: map[string][]float64{}, Monthly: map[string][]float64{}}
+	dec25 := time.Date(2023, 12, 25, 0, 0, 0, 0, time.UTC)
+	from := int(dec25.Sub(s.Traces().Start) / time.Hour)
+	for _, id := range reg.ZoneIDs {
+		z := s.Zones().ByID(id)
+		tr := s.Traces().Trace(id)
+		if z == nil || tr == nil {
+			return nil, fmt.Errorf("experiments: missing zone %s", id)
+		}
+		res.ZoneNames = append(res.ZoneNames, z.Name)
+		win, err := tr.Slice(from, from+48)
+		if err != nil {
+			return nil, err
+		}
+		res.TwoDay[z.Name] = win.Values
+		for _, m := range tr.MonthlyMeans() {
+			res.Monthly[z.Name] = append(res.Monthly[z.Name], m.Mean)
+		}
+	}
+	return res, nil
+}
+
+// String summarizes the diurnal swing and seasonal swing per zone.
+func (r *Fig4Result) String() string {
+	rows := [][]string{{"zone", "dailySwing", "seasonalSwing"}}
+	for _, name := range r.ZoneNames {
+		lo, hi := r.TwoDay[name][0], r.TwoDay[name][0]
+		for _, v := range r.TwoDay[name] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		mlo, mhi := r.Monthly[name][0], r.Monthly[name][0]
+		for _, v := range r.Monthly[name] {
+			if v < mlo {
+				mlo = v
+			}
+			if v > mhi {
+				mhi = v
+			}
+		}
+		rows = append(rows, []string{name, f1(hi - lo), f1(mhi - mlo)})
+	}
+	return table("Figure 4: spatial-temporal CI variation, West US (g.CO2eq/kWh; paper: ~300 daily Flagstaff, ~200 seasonal Kingman)", rows)
+}
+
+// Table1Result reproduces Table 1's pairwise one-way latency matrices.
+type Table1Result struct {
+	Florida, CentralEU *latency.Matrix
+}
+
+// Table1 computes the two latency matrices.
+func (s *Suite) Table1() (*Table1Result, error) {
+	build := func(names []string, model latency.Model) (*latency.Matrix, error) {
+		pts := make([]geo.Point, len(names))
+		for i, n := range names {
+			c, ok := s.Cities().ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown city %s", n)
+			}
+			pts[i] = c.Location
+		}
+		return latency.NewMatrix(model, names, pts)
+	}
+	fl, err := build([]string{"Jacksonville", "Miami", "Orlando", "Tampa", "Tallahassee"}, latency.USModel())
+	if err != nil {
+		return nil, err
+	}
+	eu, err := build([]string{"Bern", "Graz", "Lyon", "Milan", "Munich"}, latency.EuropeModel())
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Florida: fl, CentralEU: eu}, nil
+}
+
+// String renders both matrices.
+func (r *Table1Result) String() string {
+	render := func(name string, mx *latency.Matrix) string {
+		names := mx.Names()
+		rows := [][]string{append([]string{""}, names...)}
+		for i, a := range names {
+			row := []string{a}
+			for j := range names {
+				if j <= i {
+					row = append(row, "-")
+				} else {
+					row = append(row, f2(mx.OneWayMs(i, j)))
+				}
+			}
+			rows = append(rows, row)
+		}
+		return table("Table 1: one-way latency (ms), "+name, rows)
+	}
+	return render("Florida", r.Florida) + render("Central EU", r.CentralEU)
+}
+
+// Fig5Result reproduces Figure 5: carbon-saving CDFs by search radius and
+// the radius-latency distribution.
+type Fig5Result struct {
+	Summaries []analysis.RadiusCDFSummary
+}
+
+// Fig5 runs the radius study at the paper's three radii.
+func (s *Suite) Fig5() (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, radius := range []float64{200, 500, 1000} {
+		savings, err := analysis.RadiusStudy(s.Dep(), s.Zones(), s.Traces(), latency.DefaultModel(), radius)
+		if err != nil {
+			return nil, err
+		}
+		res.Summaries = append(res.Summaries, analysis.SummarizeRadius(radius, savings))
+	}
+	return res, nil
+}
+
+// String renders the CDF annotations the way the paper's panels do.
+func (r *Fig5Result) String() string {
+	rows := [][]string{{"radius", "P(saving<20%)", "P(saving>40%)", "median 1-way ms"}}
+	for _, sum := range r.Summaries {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f km", sum.RadiusKm),
+			f2(sum.FracBelow20), f2(sum.FracAbove40), f1(sum.MedianLatencyMs),
+		})
+	}
+	return table("Figure 5: best available carbon saving within radius D (paper: 0.68/0.12 @200km, 0.43/0.27 @500km, 0.22/0.45 @1000km; latency 5.3->14.3ms)", rows)
+}

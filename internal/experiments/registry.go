@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one named experiment and returns its printable result.
+type Runner func(*Suite) (fmt.Stringer, error)
+
+// registry maps experiment IDs (figure/table numbers and ablations) to
+// runners. The cesim and mesoscale commands dispatch on these IDs.
+var registry = map[string]Runner{
+	"fig1":                func(s *Suite) (fmt.Stringer, error) { return s.Fig1() },
+	"fig2":                func(s *Suite) (fmt.Stringer, error) { return s.Fig2() },
+	"fig3":                func(s *Suite) (fmt.Stringer, error) { return s.Fig3() },
+	"fig4":                func(s *Suite) (fmt.Stringer, error) { return s.Fig4() },
+	"table1":              func(s *Suite) (fmt.Stringer, error) { return s.Table1() },
+	"fig5":                func(s *Suite) (fmt.Stringer, error) { return s.Fig5() },
+	"fig7":                func(s *Suite) (fmt.Stringer, error) { return s.Fig7() },
+	"fig8":                func(s *Suite) (fmt.Stringer, error) { return s.Fig8() },
+	"fig9":                func(s *Suite) (fmt.Stringer, error) { return s.Fig9() },
+	"fig10":               func(s *Suite) (fmt.Stringer, error) { return s.Fig10() },
+	"fig11":               func(s *Suite) (fmt.Stringer, error) { return s.Fig11() },
+	"fig12":               func(s *Suite) (fmt.Stringer, error) { return s.Fig12() },
+	"fig13":               func(s *Suite) (fmt.Stringer, error) { return s.Fig13() },
+	"fig14":               func(s *Suite) (fmt.Stringer, error) { return s.Fig14() },
+	"fig15":               func(s *Suite) (fmt.Stringer, error) { return s.Fig15() },
+	"fig16":               func(s *Suite) (fmt.Stringer, error) { return s.Fig16() },
+	"fig17":               func(s *Suite) (fmt.Stringer, error) { return s.Fig17() },
+	"overhead":            func(s *Suite) (fmt.Stringer, error) { return s.Overhead() },
+	"ablation-solver":     func(s *Suite) (fmt.Stringer, error) { return s.AblationSolver() },
+	"ablation-forecast":   func(s *Suite) (fmt.Stringer, error) { return s.AblationForecast() },
+	"ablation-batch":      func(s *Suite) (fmt.Stringer, error) { return s.AblationBatch() },
+	"ablation-activation": func(s *Suite) (fmt.Stringer, error) { return s.AblationActivation() },
+	"ext-redeploy":        func(s *Suite) (fmt.Stringer, error) { return s.ExtRedeploy() },
+}
+
+// IDs returns all registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(s *Suite, id string) (fmt.Stringer, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(s)
+}

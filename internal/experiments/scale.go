@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// Fig17Point is one scalability sample.
+type Fig17Point struct {
+	Servers, Apps int
+	SolveTime     time.Duration
+	AllocMB       float64
+}
+
+// Fig17Result reproduces Figure 17: placement-algorithm scalability in the
+// number of servers and applications.
+type Fig17Result struct {
+	ByServers []Fig17Point // 50 apps, servers swept
+	ByApps    []Fig17Point // 400 servers, apps swept
+}
+
+// SyntheticProblem builds a random placement instance of the given size.
+func SyntheticProblem(nApps, nServers int, seed int64) (*placement.Problem, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cities := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	servers := make([]placement.Server, nServers)
+	for j := range servers {
+		servers[j] = placement.Server{
+			ID:         fmt.Sprintf("s%04d", j),
+			DC:         cities[j%len(cities)],
+			Device:     energy.A2.Name,
+			Intensity:  20 + rng.Float64()*700,
+			BasePowerW: energy.A2.IdleW,
+			PoweredOn:  true,
+			Free:       cluster.NewResources(1000, 65536, 16384, 1e6),
+		}
+	}
+	apps := make([]placement.App, nApps)
+	for i := range apps {
+		apps[i] = placement.App{
+			ID:         fmt.Sprintf("a%04d", i),
+			Model:      energy.ModelResNet50,
+			Source:     cities[rng.Intn(len(cities))],
+			SLOms:      30,
+			RatePerSec: 2 + rng.Float64()*8,
+		}
+	}
+	return placement.Build(apps, servers, func(src, dc string) float64 {
+		if src == dc {
+			return 2
+		}
+		return 4 + 2*float64(abs(int(src[0])-int(dc[0])))
+	}, nil)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// measure solves an instance and samples time and allocation.
+func measure(nApps, nServers int) (Fig17Point, error) {
+	prob, err := SyntheticProblem(nApps, nServers, int64(nApps*100000+nServers))
+	if err != nil {
+		return Fig17Point{}, err
+	}
+	solver := placement.NewHeuristicSolver()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	a, err := solver.Solve(prob, placement.CarbonAware{})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Fig17Point{}, err
+	}
+	if err := prob.CheckFeasible(a); err != nil {
+		return Fig17Point{}, err
+	}
+	return Fig17Point{
+		Servers:   nServers,
+		Apps:      nApps,
+		SolveTime: elapsed,
+		AllocMB:   float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20),
+	}, nil
+}
+
+// Fig17 sweeps both input dimensions. The paper's OR-Tools solver handles
+// 400 servers x 140 apps within 3 s and 200 MB; our heuristic backend
+// (which the placer uses at this scale) should stay well inside both.
+func (s *Suite) Fig17() (*Fig17Result, error) {
+	res := &Fig17Result{}
+	for _, n := range []int{100, 200, 300, 400} {
+		pt, err := measure(50, n)
+		if err != nil {
+			return nil, err
+		}
+		res.ByServers = append(res.ByServers, pt)
+	}
+	for _, n := range []int{20, 60, 100, 140} {
+		pt, err := measure(n, 400)
+		if err != nil {
+			return nil, err
+		}
+		res.ByApps = append(res.ByApps, pt)
+	}
+	return res, nil
+}
+
+// String renders both sweeps.
+func (r *Fig17Result) String() string {
+	rows := [][]string{{"servers", "apps", "time", "alloc MB"}}
+	for _, pt := range append(append([]Fig17Point{}, r.ByServers...), r.ByApps...) {
+		rows = append(rows, []string{
+			fmt.Sprint(pt.Servers), fmt.Sprint(pt.Apps),
+			pt.SolveTime.Round(time.Microsecond).String(), f1(pt.AllocMB)})
+	}
+	return table("Figure 17: placement scalability (paper: <3 s, <200 MB at 400 servers / 140 apps)", rows)
+}
+
+// AblationSolverResult compares the exact MILP backend against the
+// heuristic on instances the exact solver can handle (DESIGN.md ablation 1).
+type AblationSolverResult struct {
+	Instances    int
+	MeanGapPct   float64
+	MaxGapPct    float64
+	ExactTime    time.Duration
+	HeurTime     time.Duration
+	HeurFeasible bool
+}
+
+// AblationSolver measures the heuristic's optimality gap.
+func (s *Suite) AblationSolver() (*AblationSolverResult, error) {
+	res := &AblationSolverResult{HeurFeasible: true}
+	var gapSum float64
+	for trial := 0; trial < 10; trial++ {
+		prob, err := SyntheticProblem(4+trial%4, 6+trial%5, int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		exact, err := placement.NewExactSolver().Solve(prob, placement.CarbonAware{})
+		res.ExactTime += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		heur, err := placement.NewHeuristicSolver().Solve(prob, placement.CarbonAware{})
+		res.HeurTime += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		if prob.CheckFeasible(heur) != nil {
+			res.HeurFeasible = false
+		}
+		me, mh := prob.Evaluate(exact), prob.Evaluate(heur)
+		if me.CarbonGPerHour > 0 {
+			gap := (mh.CarbonGPerHour - me.CarbonGPerHour) / me.CarbonGPerHour * 100
+			if gap < 0 {
+				gap = 0
+			}
+			gapSum += gap
+			if gap > res.MaxGapPct {
+				res.MaxGapPct = gap
+			}
+		}
+		res.Instances++
+	}
+	res.MeanGapPct = gapSum / float64(res.Instances)
+	return res, nil
+}
+
+// String renders the solver ablation.
+func (r *AblationSolverResult) String() string {
+	return fmt.Sprintf(
+		"Ablation (solver): %d instances, heuristic gap mean %.2f%% max %.2f%%, exact %v vs heuristic %v, feasible=%v\n",
+		r.Instances, r.MeanGapPct, r.MaxGapPct,
+		r.ExactTime.Round(time.Millisecond), r.HeurTime.Round(time.Millisecond), r.HeurFeasible)
+}
+
+// AblationForecastResult compares forecast models feeding the placement
+// loop (DESIGN.md ablation 2).
+type AblationForecastResult struct {
+	// CarbonG per forecaster name.
+	CarbonG map[string]float64
+}
+
+// AblationForecast runs the European CDN month under three forecasters.
+func (s *Suite) AblationForecast() (*AblationForecastResult, error) {
+	res := &AblationForecastResult{CarbonG: map[string]float64{}}
+	forecasters := []carbon.Forecaster{
+		carbon.SeasonalNaive{Period: 24},
+		carbon.EWMA{Alpha: 0.2},
+		carbon.Oracle{},
+	}
+	for _, fc := range forecasters {
+		cfg := s.cdnConfig(carbon.RegionEurope, placement.CarbonAware{})
+		cfg.Forecaster = fc
+		if cfg.Hours > 24*30 {
+			cfg.Hours = 24 * 30
+		}
+		r, err := sim.Run(cfg, s.World)
+		if err != nil {
+			return nil, err
+		}
+		res.CarbonG[fc.Name()] = r.CarbonG
+	}
+	return res, nil
+}
+
+// String renders the forecast ablation.
+func (r *AblationForecastResult) String() string {
+	rows := [][]string{{"forecaster", "carbon (g)"}}
+	for _, name := range []string{"oracle", "seasonal-naive", "ewma"} {
+		if v, ok := r.CarbonG[name]; ok {
+			rows = append(rows, []string{name, f1(v)})
+		}
+	}
+	return table("Ablation (forecast model): carbon under each forecaster (oracle = lower bound)", rows)
+}
+
+// AblationBatchResult sweeps the placement batching interval (DESIGN.md
+// ablation 3).
+type AblationBatchResult struct {
+	// CarbonG and Batches per batch-hours setting.
+	CarbonG map[int]float64
+	Batches map[int]int
+}
+
+// AblationBatch compares batching intervals.
+func (s *Suite) AblationBatch() (*AblationBatchResult, error) {
+	res := &AblationBatchResult{CarbonG: map[int]float64{}, Batches: map[int]int{}}
+	for _, bh := range []int{1, 3, 6, 12} {
+		cfg := s.cdnConfig(carbon.RegionEurope, placement.CarbonAware{})
+		cfg.BatchHours = bh
+		if cfg.Hours > 24*30 {
+			cfg.Hours = 24 * 30
+		}
+		r, err := sim.Run(cfg, s.World)
+		if err != nil {
+			return nil, err
+		}
+		res.CarbonG[bh] = r.CarbonG
+		res.Batches[bh] = r.Batches
+	}
+	return res, nil
+}
+
+// String renders the batching ablation.
+func (r *AblationBatchResult) String() string {
+	rows := [][]string{{"batch (h)", "carbon (g)", "solver invocations"}}
+	for _, bh := range []int{1, 3, 6, 12} {
+		rows = append(rows, []string{fmt.Sprint(bh), f1(r.CarbonG[bh]), fmt.Sprint(r.Batches[bh])})
+	}
+	return table("Ablation (batch interval): placement quality vs solver invocations", rows)
+}
+
+// AblationActivationResult toggles the server-activation term (DESIGN.md
+// ablation 4).
+type AblationActivationResult struct {
+	WithTermG    float64
+	WithoutTermG float64
+	WithTermKWh  float64
+	WithoutKWh   float64
+}
+
+// noActivation wraps CarbonAware with a zero activation cost.
+type noActivation struct{ placement.CarbonAware }
+
+func (noActivation) Name() string                                       { return "CarbonEdge(no-activation)" }
+func (noActivation) ActivationCost(p *placement.Problem, j int) float64 { return 0 }
+
+// AblationActivation compares placements with and without the activation
+// term in a power-managed deployment.
+func (s *Suite) AblationActivation() (*AblationActivationResult, error) {
+	run := func(pol placement.Policy) (*sim.Result, error) {
+		cfg := s.cdnConfig(carbon.RegionEurope, pol)
+		cfg.ServersAlwaysOn = false
+		cfg.ArrivalsPerHour = 2
+		if cfg.Hours > 24*30 {
+			cfg.Hours = 24 * 30
+		}
+		return sim.Run(cfg, s.World)
+	}
+	with, err := run(placement.CarbonAware{})
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(noActivation{})
+	if err != nil {
+		return nil, err
+	}
+	return &AblationActivationResult{
+		WithTermG: with.CarbonG, WithoutTermG: without.CarbonG,
+		WithTermKWh: with.EnergyKWh, WithoutKWh: without.EnergyKWh,
+	}, nil
+}
+
+// String renders the activation ablation.
+func (r *AblationActivationResult) String() string {
+	rows := [][]string{
+		{"variant", "carbon (g)", "energy (kWh)"},
+		{"with activation term", f1(r.WithTermG), f2(r.WithTermKWh)},
+		{"without activation term", f1(r.WithoutTermG), f2(r.WithoutKWh)},
+	}
+	return table("Ablation (activation term): Eq. 6's server-activation component", rows)
+}
+
+// ExtRedeployResult evaluates the §7 future-work extension: periodic
+// redeployment of long-lived applications with a data-movement cost.
+type ExtRedeployResult struct {
+	StaticCarbonG   float64
+	RedeployCarbonG float64
+	Migrations      int
+	MigrationG      float64
+	ExtraSavingPct  float64
+}
+
+// ExtRedeploy compares static placement against 12-hourly redeployment for
+// week-long applications in the European CDN, charging 500 MB of state
+// transfer at 0.2 J/MB per migration.
+func (s *Suite) ExtRedeploy() (*ExtRedeployResult, error) {
+	cfg := s.cdnConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.AppLifetimeHours = 24 * 7
+	if cfg.Hours > 24*60 {
+		cfg.Hours = 24 * 60
+	}
+	static, err := sim.Run(cfg, s.World)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RedeployEveryHours = 12
+	cfg.MigrationDataMB = 500
+	cfg.MigrationJPerMB = 0.2
+	dynamic, err := sim.Run(cfg, s.World)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtRedeployResult{
+		StaticCarbonG:   static.CarbonG,
+		RedeployCarbonG: dynamic.CarbonG,
+		Migrations:      dynamic.Migrations,
+		MigrationG:      dynamic.MigrationCarbonG,
+	}
+	if static.CarbonG > 0 {
+		res.ExtraSavingPct = (static.CarbonG - dynamic.CarbonG) / static.CarbonG * 100
+	}
+	return res, nil
+}
+
+// String renders the redeployment extension comparison.
+func (r *ExtRedeployResult) String() string {
+	rows := [][]string{
+		{"variant", "carbon (g)"},
+		{"static placement (paper prototype)", f1(r.StaticCarbonG)},
+		{"12-hourly redeployment", f1(r.RedeployCarbonG)},
+		{"extra saving", f1(r.ExtraSavingPct) + " %"},
+		{"migrations", fmt.Sprint(r.Migrations)},
+		{"migration carbon", f1(r.MigrationG) + " g"},
+	}
+	return table("Extension (§7 future work): periodic redeployment with data-movement cost", rows)
+}

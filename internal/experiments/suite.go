@@ -1,0 +1,76 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Figures 1-5, Table 1, Figures 7-17, and the §6.5 overhead
+// numbers), plus the ablations called out in DESIGN.md. Each experiment is
+// a function on Suite returning a structured result with a text rendering
+// that mirrors the paper's rows/series; the cesim and mesoscale commands
+// print them and the root bench harness reports their headline metrics.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/carbon"
+	"repro/internal/deploy"
+	"repro/internal/latency"
+	"repro/internal/sim"
+)
+
+// Suite carries the shared datasets: the 148-zone registry with year
+// traces, the city registry, and the integrated CDN deployment.
+type Suite struct {
+	Seed int64
+	// CDNHours bounds the CDN simulations (8760 = the paper's year;
+	// benches use shorter spans).
+	CDNHours int
+	World    *sim.World
+}
+
+// NewSuite builds the shared world. hours <= 0 defaults to the full year.
+func NewSuite(seed int64, hours int) (*Suite, error) {
+	w, err := sim.NewWorld(seed)
+	if err != nil {
+		return nil, err
+	}
+	if hours <= 0 {
+		hours = 8760
+	}
+	return &Suite{Seed: seed, CDNHours: hours, World: w}, nil
+}
+
+// Zones is shorthand for the zone registry.
+func (s *Suite) Zones() *carbon.Registry { return s.World.Zones }
+
+// Traces is shorthand for the trace set.
+func (s *Suite) Traces() *carbon.TraceSet { return s.World.Traces }
+
+// Cities is shorthand for the city registry.
+func (s *Suite) Cities() *latency.CityRegistry { return s.World.Cities }
+
+// Dep is shorthand for the CDN deployment.
+func (s *Suite) Dep() *deploy.Deployment { return s.World.Dep }
+
+// table renders rows of label/value pairs with aligned columns.
+func table(header string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString("\n")
+	widths := map[int]int{}
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, r := range rows {
+		for c, cell := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[c], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

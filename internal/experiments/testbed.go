@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/placement"
+	"repro/internal/testbed"
+)
+
+// Fig7Result reproduces Figure 7's workload profiles.
+type Fig7Result struct {
+	Profiles []energy.Profile
+}
+
+// Fig7 returns the profiling-service table.
+func (s *Suite) Fig7() (*Fig7Result, error) {
+	return &Fig7Result{Profiles: energy.Profiles()}, nil
+}
+
+// String renders the per-(model, device) profile table.
+func (r *Fig7Result) String() string {
+	rows := [][]string{{"model", "device", "energy (J/req)", "memory (MB)", "inference (ms)"}}
+	for _, p := range r.Profiles {
+		rows = append(rows, []string{p.Model, p.Device,
+			fmt.Sprintf("%.4f", p.EnergyPerRequestJ()), f1(p.MemMB), f1(p.InferenceMs)})
+	}
+	return table("Figure 7: workload profiles across devices (paper: up to 45x energy across models)", rows)
+}
+
+// newTestbed builds a testbed for a region and policy over the suite data.
+func (s *Suite) newTestbed(region testbed.Region, pol placement.Policy) (*testbed.Testbed, error) {
+	return testbed.New(testbed.Config{
+		Region: region,
+		Zones:  s.Zones(),
+		Traces: s.Traces(),
+		Cities: s.Cities(),
+		Policy: pol,
+	})
+}
+
+// Fig8Result reproduces Figure 8: Florida carbon intensity and per-app
+// emissions over 24 hours for both policies.
+type Fig8Result struct {
+	LatencyAware *testbed.DayResult
+	CarbonEdge   *testbed.DayResult
+}
+
+// Fig8 runs the Florida day under both policies.
+func (s *Suite) Fig8() (*Fig8Result, error) {
+	la, err := s.newTestbed(testbed.Florida(), placement.LatencyAware{})
+	if err != nil {
+		return nil, err
+	}
+	dayLA, err := la.RunDay(energy.ModelSci, 10, 20)
+	if err != nil {
+		return nil, err
+	}
+	ce, err := s.newTestbed(testbed.Florida(), placement.CarbonAware{})
+	if err != nil {
+		return nil, err
+	}
+	dayCE, err := ce.RunDay(energy.ModelSci, 10, 20)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{LatencyAware: dayLA, CarbonEdge: dayCE}, nil
+}
+
+// String renders daily emissions per app for both policies.
+func (r *Fig8Result) String() string {
+	rows := [][]string{{"app", "Latency-aware (g/day)", "CarbonEdge (g/day)", "CarbonEdge host"}}
+	for _, city := range r.LatencyAware.CityOrder {
+		app := "app-" + city
+		rows = append(rows, []string{app,
+			f1(sum(r.LatencyAware.EmissionsByApp[app])),
+			f1(sum(r.CarbonEdge.EmissionsByApp[app])),
+			r.CarbonEdge.HostCity[app]})
+	}
+	return table("Figure 8: Florida 24h emissions per app (paper: CarbonEdge consolidates on Miami at 20-23g)", rows)
+}
+
+// Fig9Result reproduces Figure 9: end-to-end response times per DC.
+type Fig9Result struct {
+	LatencyAware, CarbonEdge map[string]float64
+	CityOrder                []string
+	// MeanIncreaseMs is the paper's 6.61 ms average-increase headline.
+	MeanIncreaseMs float64
+	MaxIncreaseMs  float64
+}
+
+// Fig9 measures response times under both policies.
+func (s *Suite) Fig9() (*Fig9Result, error) {
+	f8, err := s.Fig8()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		LatencyAware: f8.LatencyAware.ResponseMsByApp,
+		CarbonEdge:   f8.CarbonEdge.ResponseMsByApp,
+		CityOrder:    f8.LatencyAware.CityOrder,
+	}
+	var total float64
+	for _, city := range res.CityOrder {
+		app := "app-" + city
+		incr := res.CarbonEdge[app] - res.LatencyAware[app]
+		total += incr
+		if incr > res.MaxIncreaseMs {
+			res.MaxIncreaseMs = incr
+		}
+	}
+	res.MeanIncreaseMs = total / float64(len(res.CityOrder))
+	return res, nil
+}
+
+// String renders the per-DC response times.
+func (r *Fig9Result) String() string {
+	rows := [][]string{{"DC", "Latency-aware (ms)", "CarbonEdge (ms)"}}
+	for _, city := range r.CityOrder {
+		app := "app-" + city
+		rows = append(rows, []string{city, f1(r.LatencyAware[app]), f1(r.CarbonEdge[app])})
+	}
+	rows = append(rows, []string{"mean increase", "", f1(r.MeanIncreaseMs)})
+	return table("Figure 9: Florida response times (paper: increases < 10.1 ms, avg 6.61 ms)", rows)
+}
+
+// Fig10Row is one region x application cell of Figure 10.
+type Fig10Row struct {
+	Region, App       string
+	LatencyAwareG     float64
+	CarbonEdgeG       float64
+	SavingPct         float64
+	LatencyIncreaseMs float64
+}
+
+// Fig10Result reproduces Figure 10's aggregate comparison.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 runs both regions x both applications x both policies.
+func (s *Suite) Fig10() (*Fig10Result, error) {
+	res := &Fig10Result{}
+	for _, region := range []testbed.Region{testbed.Florida(), testbed.CentralEU()} {
+		for _, model := range []string{energy.ModelSci, energy.ModelResNet50} {
+			la, err := s.newTestbed(region, placement.LatencyAware{})
+			if err != nil {
+				return nil, err
+			}
+			dayLA, err := la.RunDay(model, 10, 20)
+			if err != nil {
+				return nil, err
+			}
+			ce, err := s.newTestbed(region, placement.CarbonAware{})
+			if err != nil {
+				return nil, err
+			}
+			dayCE, err := ce.RunDay(model, 10, 20)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig10Row{
+				Region: region.Name, App: model,
+				LatencyAwareG:     dayLA.TotalCarbonG,
+				CarbonEdgeG:       dayCE.TotalCarbonG,
+				SavingPct:         (dayLA.TotalCarbonG - dayCE.TotalCarbonG) / dayLA.TotalCarbonG * 100,
+				LatencyIncreaseMs: dayCE.MeanResponseMs - dayLA.MeanResponseMs,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders the aggregate table.
+func (r *Fig10Result) String() string {
+	rows := [][]string{{"region", "app", "Latency-aware (g)", "CarbonEdge (g)", "saving %", "latency +ms"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Region, row.App,
+			f1(row.LatencyAwareG), f1(row.CarbonEdgeG), f1(row.SavingPct), f1(row.LatencyIncreaseMs)})
+	}
+	return table("Figure 10: regional savings (paper: 39.4% Florida, 78.7% Central EU; +6.6/+10.5 ms)", rows)
+}
+
+// OverheadResult reproduces the §6.5 system-overhead measurements on the
+// testbed scale.
+type OverheadResult struct {
+	// PlacementMs is the mean time to compute a placement decision
+	// (paper: ~3.3 ms).
+	PlacementMs float64
+	// Batches is the number of placements measured.
+	Batches int
+}
+
+// Overhead measures placement-decision latency on the regional testbed.
+func (s *Suite) Overhead() (*OverheadResult, error) {
+	tb, err := s.newTestbed(testbed.Florida(), placement.CarbonAware{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tb.RunDay(energy.ModelResNet50, 10, 20); err != nil {
+		return nil, err
+	}
+	return &OverheadResult{
+		PlacementMs: tb.Orch.DeployLatency.Mean(),
+		Batches:     tb.Orch.DeployLatency.N(),
+	}, nil
+}
+
+// String renders the overhead line.
+func (r *OverheadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 6.5: placement decision time %.2f ms over %d batches (paper: ~3.3 ms)\n",
+		r.PlacementMs, r.Batches)
+	return b.String()
+}
+
+func sum(xs []float64) float64 {
+	var t float64
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,163 @@
+// Package metrics provides the light-weight aggregation primitives the
+// simulator, testbed, and orchestrator use to accumulate experiment
+// results: streaming summaries, grouped summaries, and labelled counters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Summary accumulates streaming scalar statistics.
+type Summary struct {
+	n          int
+	sum        float64
+	min, max   float64
+	sumSquares float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		s.min = math.Min(s.min, v)
+		s.max = math.Max(s.max, v)
+	}
+	s.n++
+	s.sum += v
+	s.sumSquares += v * v
+}
+
+// N returns the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the mean, or NaN when empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the minimum, or NaN when empty.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the maximum, or NaN when empty.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Stddev returns the population standard deviation, or NaN when empty.
+func (s *Summary) Stddev() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	v := s.sumSquares/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "Summary(empty)"
+	}
+	return fmt.Sprintf("Summary(n=%d mean=%.3f min=%.3f max=%.3f)", s.n, s.Mean(), s.min, s.max)
+}
+
+// Grouped maintains one Summary per string key. It is safe for concurrent
+// use.
+type Grouped struct {
+	mu     sync.Mutex
+	groups map[string]*Summary
+}
+
+// NewGrouped creates an empty grouped summary.
+func NewGrouped() *Grouped { return &Grouped{groups: make(map[string]*Summary)} }
+
+// Add records an observation under key.
+func (g *Grouped) Add(key string, v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.groups[key]
+	if s == nil {
+		s = &Summary{}
+		g.groups[key] = s
+	}
+	s.Add(v)
+}
+
+// Get returns the summary for key (nil when absent).
+func (g *Grouped) Get(key string) *Summary {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.groups[key]
+}
+
+// Keys returns the keys in sorted order.
+func (g *Grouped) Keys() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.groups))
+	for k := range g.groups {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counter is a labelled monotonically increasing counter set, safe for
+// concurrent use.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounter creates an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Inc increments label by delta (which must be >= 0).
+func (c *Counter) Inc(label string, delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[label] += delta
+}
+
+// Get returns a label's count.
+func (c *Counter) Get(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[label]
+}
+
+// Labels returns all labels sorted.
+func (c *Counter) Labels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

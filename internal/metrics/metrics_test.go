@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSummaryBasic(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Sum() != 10 {
+		t.Errorf("n=%d sum=%v", s.N(), s.Sum())
+	}
+	if s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("mean/min/max = %v/%v/%v", s.Mean(), s.Min(), s.Max())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) || !math.IsNaN(s.Stddev()) {
+		t.Error("empty summary should be NaN")
+	}
+	if s.String() != "Summary(empty)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Errorf("stats = %v/%v/%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestGrouped(t *testing.T) {
+	g := NewGrouped()
+	g.Add("us", 1)
+	g.Add("us", 3)
+	g.Add("eu", 10)
+	if got := g.Get("us").Mean(); got != 2 {
+		t.Errorf("us mean = %v", got)
+	}
+	if got := g.Get("eu").N(); got != 1 {
+		t.Errorf("eu n = %v", got)
+	}
+	if g.Get("asia") != nil {
+		t.Error("missing key should be nil")
+	}
+	keys := g.Keys()
+	if len(keys) != 2 || keys[0] != "eu" || keys[1] != "us" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestGroupedConcurrent(t *testing.T) {
+	g := NewGrouped()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Add("k", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Get("k").N(); got != 4000 {
+		t.Errorf("concurrent adds = %d, want 4000", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a", 2)
+	c.Inc("a", 3)
+	c.Inc("b", 1)
+	c.Inc("a", -5) // ignored
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("zzz") != 0 {
+		t.Errorf("counts = %d %d %d", c.Get("a"), c.Get("b"), c.Get("zzz"))
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "a" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("x", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("x"); got != 8000 {
+		t.Errorf("concurrent counter = %d", got)
+	}
+}

@@ -1,0 +1,127 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// API exposes the orchestrator over HTTP, mirroring the Sinfonia-style
+// interface the prototype adds (§5.1):
+//
+//	POST   /api/v1/deployments        submit a recipe (queued for batch)
+//	POST   /api/v1/place              run the placement batch now
+//	GET    /api/v1/deployments        list deployments
+//	GET    /api/v1/deployments/{name} one deployment
+//	DELETE /api/v1/deployments/{name} undeploy
+//	GET    /api/v1/metrics            carbon/energy counters
+func (o *Orchestrator) API() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/deployments", o.handleDeployments)
+	mux.HandleFunc("/api/v1/deployments/", o.handleDeployment)
+	mux.HandleFunc("/api/v1/place", o.handlePlace)
+	mux.HandleFunc("/api/v1/metrics", o.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (o *Orchestrator) handleDeployments(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, o.Deployments())
+	case http.MethodPost:
+		rec, err := DecodeRecipe(r.Body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		if err := o.Submit(*rec); err != nil {
+			writeJSON(w, http.StatusConflict, errorBody{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, rec)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (o *Orchestrator) handleDeployment(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/api/v1/deployments/")
+	if name == "" {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		dep := o.Deployment(name)
+		if dep == nil {
+			writeJSON(w, http.StatusNotFound, errorBody{"no such deployment"})
+			return
+		}
+		writeJSON(w, http.StatusOK, dep)
+	case http.MethodDelete:
+		if err := o.Undeploy(name); err != nil {
+			writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// placeResponse reports a batch outcome.
+type placeResponse struct {
+	Placed   []*Deployment `json:"placed"`
+	Rejected []string      `json:"rejected"`
+}
+
+func (o *Orchestrator) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	placed, rejected, err := o.PlaceBatch()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, placeResponse{Placed: placed, Rejected: rejected})
+}
+
+// metricsBody is the /metrics payload.
+type metricsBody struct {
+	CarbonTotalG    float64 `json:"carbon_total_g"`
+	EnergyKWh       float64 `json:"energy_kwh"`
+	Deployments     int     `json:"deployments"`
+	MeanDeployMs    float64 `json:"mean_deploy_ms"`
+	DeployBatches   int     `json:"deploy_batches"`
+	OrchestratorNow string  `json:"now"`
+}
+
+func (o *Orchestrator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	body := metricsBody{
+		CarbonTotalG:  o.CarbonTotalG(),
+		EnergyKWh:     o.EnergyKWh(),
+		Deployments:   len(o.Deployments()),
+		DeployBatches: o.DeployLatency.N(),
+	}
+	if o.DeployLatency.N() > 0 {
+		body.MeanDeployMs = o.DeployLatency.Mean()
+	}
+	body.OrchestratorNow = o.Now().String()
+	writeJSON(w, http.StatusOK, body)
+}

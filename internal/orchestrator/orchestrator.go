@@ -1,0 +1,303 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+)
+
+// Orchestrator is the CarbonEdge control plane (Figure 6): it owns the
+// emulated edge cluster, batches deployment requests, invokes the
+// placement service, commits decisions (resource allocation + power
+// transitions), and runs the telemetry loop that integrates energy and
+// carbon.
+//
+// Time is explicit: the orchestrator advances via Tick(now, dt) so tests
+// and the emulated testbed can replay a day in milliseconds.
+type Orchestrator struct {
+	mu sync.Mutex
+
+	cluster *cluster.Cluster
+	carbon  *carbon.Service
+	shaper  *latency.Shaper
+	placer  *placement.Placer
+	horizon int
+
+	now         time.Time
+	pending     []Recipe
+	deployments map[string]*Deployment
+
+	// Telemetry.
+	carbonByApp *metrics.Grouped
+	carbonTotal float64 // grams CO2eq accumulated
+	energyMeter energy.Meter
+
+	// DeployLatency measures time from batch start to commit.
+	DeployLatency metrics.Summary
+}
+
+// Config assembles an orchestrator.
+type Config struct {
+	Cluster *cluster.Cluster
+	Carbon  *carbon.Service
+	// Shaper provides inter-DC latencies (the tc-emulated network).
+	Shaper *latency.Shaper
+	// Policy is the placement objective (default CarbonAware).
+	Policy placement.Policy
+	// Start is the initial clock value.
+	Start time.Time
+	// ForecastHorizonHours sets the I_j averaging window (default 24).
+	ForecastHorizonHours int
+}
+
+// New builds an orchestrator.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Cluster == nil || cfg.Carbon == nil || cfg.Shaper == nil {
+		return nil, fmt.Errorf("orchestrator: cluster, carbon service, and shaper are required")
+	}
+	horizon := cfg.ForecastHorizonHours
+	if horizon <= 0 {
+		horizon = 24
+	}
+	return &Orchestrator{
+		cluster:     cfg.Cluster,
+		carbon:      cfg.Carbon,
+		shaper:      cfg.Shaper,
+		placer:      placement.NewPlacer(cfg.Policy),
+		horizon:     horizon,
+		now:         cfg.Start,
+		deployments: make(map[string]*Deployment),
+		carbonByApp: metrics.NewGrouped(),
+	}, nil
+}
+
+// Now returns the orchestrator clock.
+func (o *Orchestrator) Now() time.Time {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.now
+}
+
+// Submit queues a deployment request for the next placement batch (step 1
+// of Figure 6). Duplicate names (pending or deployed) are rejected.
+func (o *Orchestrator) Submit(rec Recipe) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.deployments[rec.Name]; dup {
+		return fmt.Errorf("orchestrator: %s already deployed", rec.Name)
+	}
+	for _, p := range o.pending {
+		if p.Name == rec.Name {
+			return fmt.Errorf("orchestrator: %s already pending", rec.Name)
+		}
+	}
+	o.pending = append(o.pending, rec)
+	return nil
+}
+
+// PlaceBatch runs the placement service over all pending recipes (steps
+// 2-3 of Figure 6) and commits the decisions. It returns the deployments
+// made this batch; recipes with no feasible server are returned as
+// rejected with their names.
+func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.pending) == 0 {
+		return nil, nil, nil
+	}
+	start := time.Now()
+	batch := o.pending
+	o.pending = nil
+
+	snap := o.cluster.Snapshot()
+	servers := make([]placement.Server, len(snap.Servers))
+	for j, st := range snap.Servers {
+		mean, err := o.carbon.MeanForecast(st.ZoneID, o.now, o.horizon)
+		if err != nil {
+			return nil, nil, fmt.Errorf("orchestrator: forecasting zone %s: %w", st.ZoneID, err)
+		}
+		servers[j] = placement.Server{
+			ID:         st.ServerID,
+			DC:         st.City,
+			Device:     st.Device,
+			Intensity:  mean,
+			BasePowerW: st.IdleW,
+			PoweredOn:  st.State == cluster.PoweredOn,
+			Free:       st.Free,
+		}
+	}
+	apps := make([]placement.App, len(batch))
+	for i, rec := range batch {
+		apps[i] = placement.App{
+			ID: rec.Name, Model: rec.Model, Source: rec.Source,
+			SLOms: rec.SLOms, RatePerSec: rec.RatePerSec,
+		}
+	}
+	prob, err := placement.Build(apps, servers, func(source, dc string) float64 {
+		return 2 * float64(o.shaper.OneWay(source, dc)) / float64(time.Millisecond)
+	}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	result, err := o.placer.Place(prob)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Commit: power transitions first (Eq. 5), then allocations.
+	a := result.Assignment
+	for j, on := range a.PowerOn {
+		if !on {
+			continue
+		}
+		srv, _, err := o.cluster.FindServer(servers[j].ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		if srv.State() != cluster.PoweredOn {
+			if err := srv.SetState(cluster.PoweredOn); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for i, j := range a.ServerOf {
+		if j < 0 {
+			rejected = append(rejected, batch[i].Name)
+			continue
+		}
+		srv, dc, err := o.cluster.FindServer(servers[j].ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := srv.Allocate(batch[i].Name, prob.Demand[i][j]); err != nil {
+			return nil, nil, fmt.Errorf("orchestrator: committing %s: %w", batch[i].Name, err)
+		}
+		dep := &Deployment{
+			Recipe:   batch[i],
+			ServerID: srv.ID,
+			DCID:     dc.ID,
+			ZoneID:   dc.ZoneID,
+			RTTMs:    prob.LatencyMs[i][j],
+			PowerW:   prob.PowerW[i][j],
+		}
+		o.deployments[batch[i].Name] = dep
+		placed = append(placed, dep)
+	}
+	o.DeployLatency.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	return placed, rejected, nil
+}
+
+// Undeploy removes a deployment and frees its resources.
+func (o *Orchestrator) Undeploy(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.deployments[name]
+	if !ok {
+		return fmt.Errorf("orchestrator: no deployment %q", name)
+	}
+	srv, _, err := o.cluster.FindServer(dep.ServerID)
+	if err != nil {
+		return err
+	}
+	if err := srv.Release(name); err != nil {
+		return err
+	}
+	delete(o.deployments, name)
+	return nil
+}
+
+// Deployment returns a deployment by name, or nil.
+func (o *Orchestrator) Deployment(name string) *Deployment {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.deployments[name]
+}
+
+// Deployments lists current deployments sorted by name.
+func (o *Orchestrator) Deployments() []*Deployment {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Deployment, 0, len(o.deployments))
+	for _, d := range o.deployments {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Recipe.Name < out[j].Recipe.Name })
+	return out
+}
+
+// Tick advances the clock by dt and runs one telemetry cycle: every
+// powered-on server's power draw is integrated into its meter, and carbon
+// is accrued at the server zone's current intensity (§5.1 "Carbon
+// Monitoring": base power plus application energy).
+func (o *Orchestrator) Tick(dt time.Duration) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	hours := dt.Hours()
+	for _, dc := range o.cluster.DataCenters() {
+		ci, err := o.carbon.Current(dc.ZoneID, o.now)
+		if err != nil {
+			return fmt.Errorf("orchestrator: telemetry for DC %s: %w", dc.ID, err)
+		}
+		for _, srv := range dc.Servers() {
+			if srv.State() != cluster.PoweredOn {
+				continue
+			}
+			watts := srv.Device.IdleW
+			// Dynamic power: sum of hosted apps' draws.
+			for _, appID := range srv.Apps() {
+				if dep := o.deployments[appID]; dep != nil {
+					watts += dep.PowerW
+				}
+			}
+			srv.Meter().Record(watts, dt)
+			o.energyMeter.Record(watts, dt)
+			grams := watts / 1000 * hours * ci
+			o.carbonTotal += grams
+			for _, appID := range srv.Apps() {
+				if dep := o.deployments[appID]; dep != nil {
+					o.carbonByApp.Add(appID, dep.PowerW/1000*hours*ci)
+				}
+			}
+		}
+	}
+	o.now = o.now.Add(dt)
+	return nil
+}
+
+// CurrentIntensity returns a zone's carbon intensity at the orchestrator's
+// current clock, as the carbon-intensity service reports it.
+func (o *Orchestrator) CurrentIntensity(zoneID string) (float64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.carbon.Current(zoneID, o.now)
+}
+
+// CarbonTotalG returns accumulated emissions in grams CO2eq (base + apps).
+func (o *Orchestrator) CarbonTotalG() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.carbonTotal
+}
+
+// AppCarbonG returns the operational emissions attributed to one app.
+func (o *Orchestrator) AppCarbonG(name string) float64 {
+	s := o.carbonByApp.Get(name)
+	if s == nil {
+		return 0
+	}
+	return s.Sum()
+}
+
+// EnergyKWh returns total cluster energy consumed.
+func (o *Orchestrator) EnergyKWh() float64 { return o.energyMeter.TotalKWh() }

@@ -1,0 +1,72 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+)
+
+// RTTFunc returns the round-trip latency in milliseconds between an app's
+// source location and a server's data center.
+type RTTFunc func(source, dc string) float64
+
+// hostMemPerAppMB is the host-memory footprint charged to every placed
+// application (runtime, buffers) on top of its model's device memory.
+const hostMemPerAppMB = 64
+
+// mbpsPerRequest is the network bandwidth charged per request/second.
+const mbpsPerRequest = 2.0
+
+// Build assembles a Problem from apps, the placement view of servers, a
+// latency oracle, and the profiling service's (model, device) table. It
+// fills the R_ij, E_ij, and L_ij matrices of the formulation:
+//
+//   - Demand: compute occupancy (rate x service time, in milli-units of
+//     the device), host memory, device memory, and network bandwidth.
+//   - PowerW: rate x energy-per-request, the app's average dynamic draw.
+//   - LatencyMs: from the RTT oracle.
+//   - Compatible: whether a profile exists for (model, device).
+func Build(apps []App, servers []Server, rtt RTTFunc, profile func(model, device string) (energy.Profile, error)) (*Problem, error) {
+	if rtt == nil {
+		return nil, fmt.Errorf("placement: nil RTT oracle")
+	}
+	if profile == nil {
+		profile = energy.ProfileFor
+	}
+	p := NewProblem(apps, servers)
+	for i, a := range apps {
+		if a.RatePerSec < 0 {
+			return nil, fmt.Errorf("placement: app %s has negative rate", a.ID)
+		}
+		for j, s := range servers {
+			p.LatencyMs[i][j] = rtt(a.Source, s.DC)
+			prof, err := profile(a.Model, s.Device)
+			if err != nil {
+				p.Compatible[i][j] = false
+				continue
+			}
+			p.Compatible[i][j] = true
+			occupancyMilli := a.RatePerSec * prof.InferenceMs
+			if occupancyMilli > 1000 {
+				// The app saturates this device; it cannot be served by
+				// a single server of this type.
+				p.Compatible[i][j] = false
+				continue
+			}
+			// The compute dimension carries the device occupancy
+			// (busy-milliseconds per second); memory goes to the GPU
+			// dimension for accelerator models and host memory for CPU
+			// models.
+			if prof.Device != energy.XeonE5.Name {
+				p.Demand[i][j] = cluster.NewResources(
+					occupancyMilli, hostMemPerAppMB, prof.MemMB, a.RatePerSec*mbpsPerRequest)
+			} else {
+				p.Demand[i][j] = cluster.NewResources(
+					occupancyMilli, prof.MemMB, 0, a.RatePerSec*mbpsPerRequest)
+			}
+			p.PowerW[i][j] = a.RatePerSec * prof.EnergyPerRequestJ()
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,194 @@
+package placement
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// HeuristicSolver is the scalable backend: cost-greedy construction
+// followed by steepest-descent local search (single-app moves). It handles
+// CDN-scale instances (hundreds of servers, hundreds of apps per batch) in
+// milliseconds and typically lands within a few percent of the exact
+// optimum (see BenchmarkAblationSolver).
+type HeuristicSolver struct {
+	// MaxPasses caps local-search sweeps (0 = 8).
+	MaxPasses int
+}
+
+// NewHeuristicSolver returns a solver with default search effort.
+func NewHeuristicSolver() *HeuristicSolver { return &HeuristicSolver{} }
+
+// state tracks remaining capacity and power decisions during the search.
+type state struct {
+	p        *Problem
+	pol      Policy
+	free     []cluster.Resources
+	on       []bool
+	assigned []int // app -> server or -1
+	loads    []int // number of apps per server
+}
+
+func newState(p *Problem, pol Policy) *state {
+	st := &state{
+		p:        p,
+		pol:      pol,
+		free:     make([]cluster.Resources, len(p.Servers)),
+		on:       make([]bool, len(p.Servers)),
+		assigned: make([]int, len(p.Apps)),
+		loads:    make([]int, len(p.Servers)),
+	}
+	for j, s := range p.Servers {
+		st.free[j] = s.Free
+		st.on[j] = s.PoweredOn
+	}
+	for i := range st.assigned {
+		st.assigned[i] = -1
+	}
+	return st
+}
+
+// placeCost returns the marginal policy cost of placing app i on server j
+// in the current state, including activation if j is currently off.
+func (st *state) placeCost(i, j int) float64 {
+	c := st.pol.PairCost(st.p, i, j)
+	if !st.on[j] {
+		c += st.pol.ActivationCost(st.p, j)
+	}
+	return c
+}
+
+// canPlace reports whether app i fits on server j right now.
+func (st *state) canPlace(i, j int) bool {
+	if !st.p.Compatible[i][j] {
+		return false
+	}
+	if st.p.LatencyMs[i][j] > st.p.Apps[i].SLOms+1e-9 {
+		return false
+	}
+	return st.p.Demand[i][j].Fits(st.free[j])
+}
+
+// place commits app i to server j.
+func (st *state) place(i, j int) {
+	st.assigned[i] = j
+	st.free[j] = st.free[j].Sub(st.p.Demand[i][j])
+	st.loads[j]++
+	st.on[j] = true
+}
+
+// unplace removes app i from its server.
+func (st *state) unplace(i int) {
+	j := st.assigned[i]
+	if j < 0 {
+		return
+	}
+	st.free[j] = st.free[j].Add(st.p.Demand[i][j])
+	st.loads[j]--
+	st.assigned[i] = -1
+	// A server that was off before the batch and is now empty returns
+	// to "not yet activated".
+	if st.loads[j] == 0 && !st.p.Servers[j].PoweredOn {
+		st.on[j] = false
+	}
+}
+
+// Solve runs greedy construction + local search.
+func (s *HeuristicSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	st := newState(p, pol)
+
+	// Construction: place the most constrained apps first (fewest
+	// feasible servers), each on its cheapest feasible server. This is
+	// the classic most-constrained-variable heuristic and avoids
+	// painting flexible apps into constrained servers.
+	order := make([]int, len(p.Apps))
+	options := make([]int, len(p.Apps))
+	for i := range order {
+		order[i] = i
+		options[i] = len(p.FeasibleServers(i))
+	}
+	sort.SliceStable(order, func(a, b int) bool { return options[order[a]] < options[order[b]] })
+
+	for _, i := range order {
+		best, bestCost := -1, math.Inf(1)
+		for j := range p.Servers {
+			if !st.canPlace(i, j) {
+				continue
+			}
+			if c := st.placeCost(i, j); c < bestCost {
+				best, bestCost = j, c
+			}
+		}
+		if best >= 0 {
+			st.place(i, best)
+		}
+	}
+
+	// Local search: steepest descent over single-app relocations.
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := range p.Apps {
+			cur := st.assigned[i]
+			if cur < 0 {
+				// Retry unplaced apps: capacity may have shifted.
+				for j := range p.Servers {
+					if st.canPlace(i, j) {
+						st.place(i, j)
+						improved = true
+						break
+					}
+				}
+				continue
+			}
+			curCost := st.moveAwareCost(i, cur)
+			st.unplace(i)
+			best, bestCost := cur, curCost
+			for j := range p.Servers {
+				if j == cur || !st.canPlace(i, j) {
+					continue
+				}
+				if c := st.placeCost(i, j); c < bestCost-1e-12 {
+					best, bestCost = j, c
+				}
+			}
+			st.place(i, best)
+			if best != cur {
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	return &Assignment{ServerOf: st.assigned, PowerOn: st.on, Unplaced: stillUnplaced(st.assigned)}, nil
+}
+
+// moveAwareCost is app i's current cost on server j, crediting the
+// activation cost when i is the only tenant of a server that was off
+// before the batch (moving it away would let the server power down).
+func (st *state) moveAwareCost(i, j int) float64 {
+	c := st.pol.PairCost(st.p, i, j)
+	if !st.p.Servers[j].PoweredOn && st.loads[j] == 1 {
+		c += st.pol.ActivationCost(st.p, j)
+	}
+	return c
+}
+
+func stillUnplaced(assigned []int) []int {
+	var out []int
+	for i, j := range assigned {
+		if j < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package placement
+
+import (
+	"fmt"
+	"time"
+)
+
+// Solver is a placement optimization backend.
+type Solver interface {
+	Solve(p *Problem, pol Policy) (*Assignment, error)
+}
+
+// Placer implements Algorithm 1's incremental placement: it receives
+// batches of newly arriving applications, filters feasible servers, solves
+// the optimization with the configured policy, and returns the placement
+// and power decisions. Committing the decisions to the cluster is the
+// orchestrator's job.
+type Placer struct {
+	// Policy is the optimization objective (default CarbonAware).
+	Policy Policy
+	// ExactPairLimit routes instances with at most this many feasible
+	// (app, server) pairs to the exact MILP backend; larger instances
+	// use the heuristic (0 = 220, which keeps exact solves under ~100ms).
+	ExactPairLimit int
+	// Exact and Heuristic override the default backends (for ablations).
+	Exact     Solver
+	Heuristic Solver
+}
+
+// NewPlacer returns a placer with the CarbonEdge policy and default
+// backends.
+func NewPlacer(pol Policy) *Placer {
+	if pol == nil {
+		pol = CarbonAware{}
+	}
+	return &Placer{Policy: pol}
+}
+
+// Result carries an assignment with its metrics and solve telemetry.
+type Result struct {
+	Assignment *Assignment
+	Metrics    Metrics
+	// Backend names the solver used ("exact" or "heuristic").
+	Backend string
+	// SolveTime is the optimization wall-clock time.
+	SolveTime time.Duration
+}
+
+// Place solves one batch (Algorithm 1 lines 1-10).
+func (pl *Placer) Place(p *Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pol := pl.Policy
+	if pol == nil {
+		pol = CarbonAware{}
+	}
+
+	// Count feasible pairs to pick a backend (line 7's filtered set).
+	pairs := 0
+	for i := range p.Apps {
+		pairs += len(p.FeasibleServers(i))
+	}
+	limit := pl.ExactPairLimit
+	if limit <= 0 {
+		limit = 220
+	}
+
+	var solver Solver
+	backend := "heuristic"
+	if pairs <= limit {
+		backend = "exact"
+		solver = pl.Exact
+		if solver == nil {
+			solver = NewExactSolver()
+		}
+	} else {
+		solver = pl.Heuristic
+		if solver == nil {
+			solver = NewHeuristicSolver()
+		}
+	}
+
+	start := time.Now()
+	a, err := solver.Solve(p, pol)
+	solveTime := time.Since(start)
+	if err != nil && backend == "exact" {
+		// The exact backend can reject edge cases (e.g. time limit with
+		// no incumbent); fall back rather than fail the batch.
+		backend = "heuristic-fallback"
+		h := pl.Heuristic
+		if h == nil {
+			h = NewHeuristicSolver()
+		}
+		a, err = h.Solve(p, pol)
+		solveTime = time.Since(start)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("placement: %s backend: %w", backend, err)
+	}
+	if err := p.CheckFeasible(a); err != nil {
+		return nil, fmt.Errorf("placement: %s backend returned infeasible assignment: %w", backend, err)
+	}
+	return &Result{
+		Assignment: a,
+		Metrics:    p.Evaluate(a),
+		Backend:    backend,
+		SolveTime:  solveTime,
+	}, nil
+}

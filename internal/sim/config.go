@@ -1,0 +1,153 @@
+// Package sim is the CarbonEdge edge simulator (§5.2): a trace-driven,
+// hourly-epoch simulation of a CDN-scale edge deployment used for the
+// evaluations a physical testbed cannot host (Figures 11-16). It follows
+// the same decision process as the prototype: the carbon-intensity service
+// forecasts per-zone intensity, arriving applications are batched, the
+// placement service solves the policy optimization, and committed
+// applications accrue emissions at the actual hourly carbon intensity of
+// their hosting zone for their lifetime.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/carbon"
+	"repro/internal/energy"
+	"repro/internal/placement"
+)
+
+// Scenario selects how demand or capacity is distributed across sites
+// (Figure 14).
+type Scenario int
+
+// Distribution scenarios.
+const (
+	// Uniform spreads demand/capacity equally over sites ("Homo").
+	Uniform Scenario = iota
+	// ByPopulation weights by the site's city population.
+	ByPopulation
+	// BySiteWeight weights by the merged Akamai site count.
+	BySiteWeight
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Uniform:
+		return "uniform"
+	case ByPopulation:
+		return "population"
+	default:
+		return "site-weight"
+	}
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Seed fixes arrivals and workload sampling.
+	Seed int64
+	// Region restricts the deployment (the paper evaluates US and
+	// Europe separately).
+	Region carbon.Region
+	// Policy is the placement objective.
+	Policy placement.Policy
+	// RTTLimitMs is the apps' round-trip SLO (paper default: 20 ms).
+	RTTLimitMs float64
+	// Hours is the simulated span (8760 = the paper's year).
+	Hours int
+	// StartHour offsets the start within the trace year.
+	StartHour int
+	// ArrivalsPerHour is the mean Poisson arrival rate over the whole
+	// region.
+	ArrivalsPerHour float64
+	// AppLifetimeHours is how long each app runs before departing.
+	AppLifetimeHours int
+	// Model is the workload model arriving apps run.
+	Model string
+	// Models optionally overrides Model with a mix sampled uniformly
+	// per arrival (Figure 15's heterogeneous workloads).
+	Models []string
+	// RatePerSec is each app's request rate.
+	RatePerSec float64
+	// Devices lists the device types present at every site (one
+	// aggregate server per device per site). Default: {A2}.
+	Devices []string
+	// CapacityMilliPerSite is each site server's compute capacity in
+	// device milli-units before scenario weighting.
+	CapacityMilliPerSite float64
+	// Demand and Capacity pick the Figure 14 scenario.
+	Demand, Capacity Scenario
+	// ServersAlwaysOn models a CDN whose servers never power down; when
+	// false, servers start off and the activation term applies.
+	ServersAlwaysOn bool
+	// ForecastHorizonHours sets the mean-forecast window for I_j.
+	ForecastHorizonHours int
+	// Forecaster overrides the default seasonal-naive forecaster (the
+	// forecast ablation swaps in EWMA or the oracle).
+	Forecaster carbon.Forecaster
+	// BatchHours buffers arrivals and places them every N hours
+	// (default 1; the batching ablation sweeps this).
+	BatchHours int
+	// CollectLoadCI enables per-app-hour carbon-intensity sampling for
+	// Figure 11c's load-distribution CDF.
+	CollectLoadCI bool
+	// RedeployEveryHours periodically re-places all live applications to
+	// track carbon-intensity drift (0 disables it — the paper's
+	// prototype behaviour; §7 names automatic redeployment as future
+	// work). Migrations pay the data-movement cost below.
+	RedeployEveryHours int
+	// MigrationDataMB is the state transferred when an app migrates.
+	MigrationDataMB float64
+	// MigrationJPerMB is the network energy cost of moving one MB
+	// (~0.2 J/MB for wide-area transfer), charged at the destination
+	// zone's carbon intensity.
+	MigrationJPerMB float64
+}
+
+// DefaultConfig returns the paper's CDN baseline: year-long, 20 ms RTT
+// limit, ResNet50 serving on A2-class pools, always-on servers.
+func DefaultConfig(region carbon.Region, pol placement.Policy) Config {
+	return Config{
+		Seed:                 42,
+		Region:               region,
+		Policy:               pol,
+		RTTLimitMs:           20,
+		Hours:                8760,
+		ArrivalsPerHour:      6,
+		AppLifetimeHours:     24,
+		Model:                energy.ModelResNet50,
+		RatePerSec:           10,
+		Devices:              []string{energy.A2.Name},
+		CapacityMilliPerSite: 4000,
+		Demand:               BySiteWeight,
+		Capacity:             BySiteWeight,
+		ServersAlwaysOn:      true,
+		ForecastHorizonHours: 24,
+	}
+}
+
+// Validate reports configuration problems.
+func (c *Config) Validate() error {
+	if c.Hours <= 0 {
+		return fmt.Errorf("sim: Hours must be positive")
+	}
+	if c.RTTLimitMs <= 0 {
+		return fmt.Errorf("sim: RTTLimitMs must be positive")
+	}
+	if c.ArrivalsPerHour < 0 {
+		return fmt.Errorf("sim: negative arrival rate")
+	}
+	if c.AppLifetimeHours <= 0 {
+		return fmt.Errorf("sim: AppLifetimeHours must be positive")
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("sim: nil policy")
+	}
+	if len(c.Devices) == 0 {
+		return fmt.Errorf("sim: no devices configured")
+	}
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("sim: RatePerSec must be positive")
+	}
+	return nil
+}

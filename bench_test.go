@@ -13,6 +13,7 @@ package repro
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/carbon"
 	"repro/internal/experiments"
@@ -307,6 +308,35 @@ func BenchmarkAblationActivation(b *testing.B) {
 		if r.WithTermKWh > 0 {
 			b.ReportMetric(r.WithoutKWh/r.WithTermKWh, "energy_ratio_without_vs_with")
 		}
+	}
+}
+
+// BenchmarkSweepParallelSpeedup records the wall-clock speedup the sweep
+// runner delivers on the Figure 12 and Figure 16 grids at -parallel 4
+// versus serial execution of the identical grid. The speedup is bounded by
+// the host's core count (a single-core machine reports ~1.0x); on >= 4
+// cores the grids are embarrassingly parallel and exceed 1.5x.
+func BenchmarkSweepParallelSpeedup(b *testing.B) {
+	s := benchSuite(b)
+	defer func() { s.Parallel = 0 }()
+	timeGrid := func(name string, parallel int, run func() error) time.Duration {
+		s.Parallel = parallel
+		t0 := time.Now()
+		if err := run(); err != nil {
+			b.Fatalf("%s at parallel=%d: %v", name, parallel, err)
+		}
+		return time.Since(t0)
+	}
+	for i := 0; i < b.N; i++ {
+		fig12 := func() error { _, err := s.Fig12(); return err }
+		serial12 := timeGrid("fig12", 1, fig12)
+		par12 := timeGrid("fig12", 4, fig12)
+		b.ReportMetric(serial12.Seconds()/par12.Seconds(), "fig12_speedup_parallel4_x")
+
+		fig16 := func() error { _, err := s.Fig16(); return err }
+		serial16 := timeGrid("fig16", 1, fig16)
+		par16 := timeGrid("fig16", 4, fig16)
+		b.ReportMetric(serial16.Seconds()/par16.Seconds(), "fig16_speedup_parallel4_x")
 	}
 }
 

@@ -7,12 +7,14 @@
 //	cesim -all                    # every experiment
 //	cesim -list                   # list experiment IDs
 //	cesim -exp fig11 -hours 720   # bound CDN simulations to 30 days
+//	cesim -exp fig12 -parallel 8  # sweep the grid on 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -20,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment IDs")
-		seed  = flag.Int64("seed", 42, "dataset seed")
-		hours = flag.Int("hours", 8760, "CDN simulation span in hours (8760 = paper's year)")
+		exp      = flag.String("exp", "", "experiment ID (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		seed     = flag.Int64("seed", 42, "dataset seed")
+		hours    = flag.Int("hours", 8760, "CDN simulation span in hours (8760 = paper's year)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for simulation grids")
 	)
 	flag.Parse()
 
@@ -44,18 +47,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
 		os.Exit(1)
 	}
+	suite.Parallel = *parallel
 
 	ids := []string{*exp}
 	if *all {
 		ids = experiments.IDs()
 	}
+	total := time.Duration(0)
 	for _, id := range ids {
-		start := time.Now()
-		res, err := experiments.Run(suite, id)
+		rep, err := experiments.RunReport(suite, id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cesim: %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), res)
+		total += rep.Elapsed
+		fmt.Printf("%s\n", rep)
+	}
+	if *all {
+		fmt.Printf("--- %d experiments in %.1fs (parallel=%d) ---\n",
+			len(ids), total.Seconds(), *parallel)
 	}
 }

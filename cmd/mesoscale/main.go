@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	mesoscale            # run the full Section 3 analysis
-//	mesoscale -exp fig5  # one analysis
+//	mesoscale              # run the full Section 3 analysis
+//	mesoscale -exp fig5    # one analysis
+//	mesoscale -parallel 4  # analysis grids on 4 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -19,8 +22,9 @@ var section3 = []string{"fig1", "fig2", "fig3", "fig4", "table1", "fig5"}
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "analysis ID (fig1..fig5, table1); empty = all")
-		seed = flag.Int64("seed", 42, "dataset seed")
+		exp      = flag.String("exp", "", "analysis ID (fig1..fig5, table1); empty = all")
+		seed     = flag.Int64("seed", 42, "dataset seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for analysis grids")
 	)
 	flag.Parse()
 
@@ -29,6 +33,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mesoscale: %v\n", err)
 		os.Exit(1)
 	}
+	suite.Parallel = *parallel
 	ids := section3
 	if *exp != "" {
 		ok := false
@@ -43,12 +48,18 @@ func main() {
 		}
 		ids = []string{*exp}
 	}
+	total := time.Duration(0)
 	for _, id := range ids {
-		res, err := experiments.Run(suite, id)
+		rep, err := experiments.RunReport(suite, id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mesoscale: %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "mesoscale: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s ===\n%s\n", id, res)
+		total += rep.Elapsed
+		fmt.Printf("%s\n", rep)
+	}
+	if len(ids) > 1 {
+		fmt.Printf("--- %d analyses in %.1fs (parallel=%d) ---\n",
+			len(ids), total.Seconds(), *parallel)
 	}
 }

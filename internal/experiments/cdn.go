@@ -10,12 +10,21 @@ import (
 	"repro/internal/timeseries"
 )
 
+// cdnRegions are the two deployments the paper evaluates separately.
+var cdnRegions = []carbon.Region{carbon.RegionUS, carbon.RegionEurope}
+
 // cdnConfig builds the base CDN simulation config for a region.
 func (s *Suite) cdnConfig(region carbon.Region, pol placement.Policy) sim.Config {
 	cfg := sim.DefaultConfig(region, pol)
 	cfg.Seed = s.Seed
 	cfg.Hours = s.CDNHours
 	return cfg
+}
+
+// pairKey labels one (region, policy-side) grid point of a CarbonEdge-vs-
+// baseline comparison.
+func pairKey(region carbon.Region, side string) string {
+	return region.String() + "/" + side
 }
 
 // Fig11Result reproduces Figure 11: year-long CDN savings, latency
@@ -27,22 +36,26 @@ type Fig11Result struct {
 	LoadCDF map[string][]timeseries.CDFPoint
 }
 
-// Fig11 runs the CDN simulation for both regions and policies.
+// Fig11 runs the CDN grid — both regions x both policies — through the
+// sweep runner.
 func (s *Suite) Fig11() (*Fig11Result, error) {
-	res := &Fig11Result{LoadCDF: map[string][]timeseries.CDFPoint{}}
-	for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
+	g := s.newGrid()
+	for _, region := range cdnRegions {
 		cfgCE := s.cdnConfig(region, placement.CarbonAware{})
 		cfgCE.CollectLoadCI = true
-		ce, err := sim.Run(cfgCE, s.World)
-		if err != nil {
-			return nil, err
-		}
+		g.Add(pairKey(region, "CarbonEdge"), cfgCE)
 		cfgLA := s.cdnConfig(region, placement.LatencyAware{})
 		cfgLA.CollectLoadCI = true
-		la, err := sim.Run(cfgLA, s.World)
-		if err != nil {
-			return nil, err
-		}
+		g.Add(pairKey(region, "Latency-aware"), cfgLA)
+	}
+	runs, err := g.RunMap()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{LoadCDF: map[string][]timeseries.CDFPoint{}}
+	for _, region := range cdnRegions {
+		ce := runs[pairKey(region, "CarbonEdge")]
+		la := runs[pairKey(region, "Latency-aware")]
 		sv := sim.CompareToBaseline(ce, la)
 		key := region.String()
 		res.LoadCDF[key+"/CarbonEdge"] = timeseries.NewCDF(ce.LoadCI).Points(20)
@@ -95,25 +108,37 @@ type Fig12Result struct {
 	Points []Fig12Point
 }
 
-// Fig12 sweeps the round-trip latency limit.
+// Fig12Limits are the swept round-trip latency limits (ms).
+var Fig12Limits = []float64{5, 10, 15, 20, 25, 30}
+
+// Fig12 declares the full (limit x region x policy) grid — 24 runs — and
+// sweeps it concurrently.
 func (s *Suite) Fig12() (*Fig12Result, error) {
-	res := &Fig12Result{}
-	for _, limit := range []float64{5, 10, 15, 20, 25, 30} {
-		pt := Fig12Point{LimitMs: limit}
-		for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
+	g := s.newGrid()
+	key := func(limit float64, region carbon.Region, side string) string {
+		return fmt.Sprintf("limit=%g/%s", limit, pairKey(region, side))
+	}
+	for _, limit := range Fig12Limits {
+		for _, region := range cdnRegions {
 			cfgCE := s.cdnConfig(region, placement.CarbonAware{})
 			cfgCE.RTTLimitMs = limit
-			ce, err := sim.Run(cfgCE, s.World)
-			if err != nil {
-				return nil, err
-			}
+			g.Add(key(limit, region, "CarbonEdge"), cfgCE)
 			cfgLA := s.cdnConfig(region, placement.LatencyAware{})
 			cfgLA.RTTLimitMs = limit
-			la, err := sim.Run(cfgLA, s.World)
-			if err != nil {
-				return nil, err
-			}
-			sv := sim.CompareToBaseline(ce, la)
+			g.Add(key(limit, region, "Latency-aware"), cfgLA)
+		}
+	}
+	runs, err := g.RunMap()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{}
+	for _, limit := range Fig12Limits {
+		pt := Fig12Point{LimitMs: limit}
+		for _, region := range cdnRegions {
+			sv := sim.CompareToBaseline(
+				runs[key(limit, region, "CarbonEdge")],
+				runs[key(limit, region, "Latency-aware")])
 			if region == carbon.RegionUS {
 				pt.US = sv
 			} else {
@@ -155,23 +180,27 @@ var Fig13AnchorZones = []string{"FR-PAR", "NO-OSL", "AT-VIE", "HR-ZAG"}
 // Fig13AnchorCities are the cities Figure 13d tracks.
 var Fig13AnchorCities = []string{"Paris", "Oslo", "Vienna", "Zagreb"}
 
-// Fig13 computes seasonal savings and placement fluctuations.
+// Fig13 computes seasonal savings and placement fluctuations from the
+// (region x policy) grid.
 func (s *Suite) Fig13() (*Fig13Result, error) {
+	g := s.newGrid()
+	for _, region := range cdnRegions {
+		g.Add(pairKey(region, "CarbonEdge"), s.cdnConfig(region, placement.CarbonAware{}))
+		g.Add(pairKey(region, "Latency-aware"), s.cdnConfig(region, placement.LatencyAware{}))
+	}
+	runs, err := g.RunMap()
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig13Result{
 		MonthlySavingPct:      map[string][12]float64{},
 		MonthlyLatencyMs:      map[string][12]float64{},
 		ZoneMonthlyCI:         map[string][]float64{},
 		CityMonthlyPlacements: map[string][12]int64{},
 	}
-	for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
-		ce, err := sim.Run(s.cdnConfig(region, placement.CarbonAware{}), s.World)
-		if err != nil {
-			return nil, err
-		}
-		la, err := sim.Run(s.cdnConfig(region, placement.LatencyAware{}), s.World)
-		if err != nil {
-			return nil, err
-		}
+	for _, region := range cdnRegions {
+		ce := runs[pairKey(region, "CarbonEdge")]
+		la := runs[pairKey(region, "Latency-aware")]
 		var save, lat [12]float64
 		for m := 0; m < 12; m++ {
 			if la.MonthlyCarbonG[m] > 0 {
@@ -273,9 +302,9 @@ type Fig14Result struct {
 	Rows []Fig14Row
 }
 
-// Fig14 runs the three distribution scenarios per region.
+// Fig14 sweeps the (region x scenario x policy) grid — the three
+// distribution scenarios per region.
 func (s *Suite) Fig14() (*Fig14Result, error) {
-	res := &Fig14Result{}
 	type scenario struct {
 		name             string
 		demand, capacity sim.Scenario
@@ -285,23 +314,32 @@ func (s *Suite) Fig14() (*Fig14Result, error) {
 		{"Demand", sim.ByPopulation, sim.Uniform},
 		{"Capacity", sim.Uniform, sim.ByPopulation},
 	}
-	for _, region := range []carbon.Region{carbon.RegionUS, carbon.RegionEurope} {
+	g := s.newGrid()
+	key := func(region carbon.Region, scn, side string) string {
+		return scn + "/" + pairKey(region, side)
+	}
+	for _, region := range cdnRegions {
 		for _, scn := range scenarios {
 			cfgCE := s.cdnConfig(region, placement.CarbonAware{})
 			cfgCE.Demand, cfgCE.Capacity = scn.demand, scn.capacity
-			ce, err := sim.Run(cfgCE, s.World)
-			if err != nil {
-				return nil, err
-			}
+			g.Add(key(region, scn.name, "CarbonEdge"), cfgCE)
 			cfgLA := s.cdnConfig(region, placement.LatencyAware{})
 			cfgLA.Demand, cfgLA.Capacity = scn.demand, scn.capacity
-			la, err := sim.Run(cfgLA, s.World)
-			if err != nil {
-				return nil, err
-			}
+			g.Add(key(region, scn.name, "Latency-aware"), cfgLA)
+		}
+	}
+	runs, err := g.RunMap()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{}
+	for _, region := range cdnRegions {
+		for _, scn := range scenarios {
 			res.Rows = append(res.Rows, Fig14Row{
 				Region: region.String(), Scenario: scn.name,
-				Savings: sim.CompareToBaseline(ce, la),
+				Savings: sim.CompareToBaseline(
+					runs[key(region, scn.name, "CarbonEdge")],
+					runs[key(region, scn.name, "Latency-aware")]),
 			})
 		}
 	}

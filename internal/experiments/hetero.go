@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/carbon"
 	"repro/internal/energy"
 	"repro/internal/placement"
-	"repro/internal/sim"
 )
 
 // Fig15Row is one (device pool, policy) cell of Figure 15.
@@ -30,10 +31,20 @@ func fig15Policies() []placement.Policy {
 	}
 }
 
-// Fig15 runs the mixed-model workload over four device pools x four
-// policies in the European deployment. Base power accrues (servers power
-// on and off), which is what makes the energy-efficiency differences in
-// Figure 7 matter.
+// heteroDevices is the mixed pool Figures 15-16 evaluate.
+func heteroDevices() []string {
+	return []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name}
+}
+
+// heteroModels is the mixed-model workload of Figures 15-16.
+func heteroModels() []string {
+	return []string{energy.ModelEfficientNetB0, energy.ModelResNet50, energy.ModelYOLOv4}
+}
+
+// Fig15 sweeps the mixed-model workload over four device pools x four
+// policies in the European deployment — a 16-point grid. Base power
+// accrues (servers power on and off), which is what makes the
+// energy-efficiency differences in Figure 7 matter.
 func (s *Suite) Fig15() (*Fig15Result, error) {
 	pools := []struct {
 		name    string
@@ -42,24 +53,33 @@ func (s *Suite) Fig15() (*Fig15Result, error) {
 		{energy.OrinNano.Name, []string{energy.OrinNano.Name}},
 		{energy.A2.Name, []string{energy.A2.Name}},
 		{energy.GTX1080.Name, []string{energy.GTX1080.Name}},
-		{"Hetero.", []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name}},
+		{"Hetero.", heteroDevices()},
 	}
-	res := &Fig15Result{}
+	g := s.newGrid()
 	for _, pool := range pools {
 		for _, pol := range fig15Policies() {
 			cfg := s.cdnConfig(carbon.RegionEurope, pol)
 			cfg.Devices = pool.devices
-			cfg.Models = []string{energy.ModelEfficientNetB0, energy.ModelResNet50, energy.ModelYOLOv4}
+			cfg.Models = heteroModels()
 			cfg.ServersAlwaysOn = false
 			// Bound the span: heterogeneity conclusions stabilize well
 			// within a quarter.
 			if cfg.Hours > 24*90 {
 				cfg.Hours = 24 * 90
 			}
-			r, err := sim.Run(cfg, s.World)
-			if err != nil {
-				return nil, err
-			}
+			g.Add(pool.name+"/"+pol.Name(), cfg)
+		}
+	}
+	runs, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig15Result{}
+	i := 0
+	for _, pool := range pools {
+		for _, pol := range fig15Policies() {
+			r := runs[i]
+			i++
 			res.Rows = append(res.Rows, Fig15Row{
 				Pool: pool.name, Policy: pol.Name(),
 				CarbonG: r.CarbonG, EnergyKWh: r.EnergyKWh,
@@ -91,35 +111,56 @@ type Fig16Result struct {
 	Low, High []Fig16Point
 }
 
-// Fig16 sweeps Eq. 8's alpha from 0 (pure carbon) to 1 (pure energy) in
-// the heterogeneous European deployment at low and high utilization.
+// fig16Alphas samples Eq. 8's alpha from 0 (pure carbon) to 1 (pure
+// energy).
+func fig16Alphas() []float64 {
+	var out []float64
+	for alpha := 0.0; alpha <= 1.0001; alpha += 0.1 {
+		out = append(out, alpha)
+	}
+	return out
+}
+
+// Fig16 sweeps alpha in the heterogeneous European deployment at low and
+// high utilization — a 22-point grid.
 func (s *Suite) Fig16() (*Fig16Result, error) {
-	res := &Fig16Result{}
-	run := func(arrivals float64) ([]Fig16Point, error) {
-		var pts []Fig16Point
-		for alpha := 0.0; alpha <= 1.0001; alpha += 0.1 {
+	levels := []struct {
+		name     string
+		arrivals float64
+	}{{"low", 2}, {"high", 14}}
+	alphas := fig16Alphas()
+	g := s.newGrid()
+	for _, lvl := range levels {
+		for _, alpha := range alphas {
 			cfg := s.cdnConfig(carbon.RegionEurope, placement.NewCarbonEnergyBlend(alpha))
-			cfg.Devices = []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name}
-			cfg.Models = []string{energy.ModelEfficientNetB0, energy.ModelResNet50, energy.ModelYOLOv4}
+			cfg.Devices = heteroDevices()
+			cfg.Models = heteroModels()
 			cfg.ServersAlwaysOn = false
-			cfg.ArrivalsPerHour = arrivals
+			cfg.ArrivalsPerHour = lvl.arrivals
 			if cfg.Hours > 24*30 {
 				cfg.Hours = 24 * 30
 			}
-			r, err := sim.Run(cfg, s.World)
-			if err != nil {
-				return nil, err
-			}
+			g.Add(fmt.Sprintf("%s/alpha=%.1f", lvl.name, alpha), cfg)
+		}
+	}
+	runs, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{}
+	i := 0
+	for _, lvl := range levels {
+		var pts []Fig16Point
+		for _, alpha := range alphas {
+			r := runs[i]
+			i++
 			pts = append(pts, Fig16Point{Alpha: alpha, CarbonG: r.CarbonG, EnergyKWh: r.EnergyKWh})
 		}
-		return pts, nil
-	}
-	var err error
-	if res.Low, err = run(2); err != nil {
-		return nil, err
-	}
-	if res.High, err = run(14); err != nil {
-		return nil, err
+		if lvl.name == "low" {
+			res.Low = pts
+		} else {
+			res.High = pts
+		}
 	}
 	return res, nil
 }

@@ -20,20 +20,22 @@ type Fig1Result struct {
 	Series map[string][]float64
 }
 
-// Fig1 computes the energy-mix and carbon-intensity comparison.
+// Fig1 computes the energy-mix and carbon-intensity comparison, one worker
+// per reference zone.
 func (s *Suite) Fig1() (*Fig1Result, error) {
-	res := &Fig1Result{
-		Zones:  []string{"CA-ON", "US-CAL", "US-NY", "PL"},
-		Shares: map[string]carbon.Mix{},
-		Series: map[string][]float64{},
-	}
+	zones := []string{"CA-ON", "US-CAL", "US-NY", "PL"}
 	gen := carbon.NewGenerator(s.Seed)
 	start := time.Date(2023, 7, 15, 0, 0, 0, 0, time.UTC)
 	from := int(start.Sub(gen.Start()) / time.Hour)
-	for _, id := range res.Zones {
+	type zoneData struct {
+		share  carbon.Mix
+		series []float64
+	}
+	data, err := mapN(s, len(zones), func(i int) (zoneData, error) {
+		id := zones[i]
 		z := s.Zones().ByID(id)
 		if z == nil {
-			return nil, fmt.Errorf("experiments: missing zone %s", id)
+			return zoneData{}, fmt.Errorf("experiments: missing zone %s", id)
 		}
 		mixes := gen.Mixes(z)
 		var sum carbon.Mix
@@ -42,13 +44,24 @@ func (s *Suite) Fig1() (*Fig1Result, error) {
 				sum[k] += v
 			}
 		}
-		res.Shares[id] = sum.Shares()
 		tr := s.Traces().Trace(id)
 		win, err := tr.Slice(from, from+4*24)
 		if err != nil {
-			return nil, err
+			return zoneData{}, err
 		}
-		res.Series[id] = win.Values
+		return zoneData{share: sum.Shares(), series: win.Values}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{
+		Zones:  zones,
+		Shares: map[string]carbon.Mix{},
+		Series: map[string][]float64{},
+	}
+	for i, id := range zones {
+		res.Shares[id] = data[i].share
+		res.Series[id] = data[i].series
 	}
 	return res, nil
 }
@@ -85,18 +98,18 @@ type Fig2Result struct {
 	Snapshots []*analysis.RegionSnapshot
 }
 
-// Fig2 takes a single-hour snapshot of each paper region.
+// Fig2 takes a single-hour snapshot of each paper region, one worker per
+// region.
 func (s *Suite) Fig2() (*Fig2Result, error) {
 	at := s.Traces().Start.Add(5000 * time.Hour)
-	res := &Fig2Result{}
-	for _, reg := range analysis.PaperRegions() {
-		snap, err := analysis.Snapshot(reg, s.Zones(), s.Traces(), at)
-		if err != nil {
-			return nil, err
-		}
-		res.Snapshots = append(res.Snapshots, snap)
+	regions := analysis.PaperRegions()
+	snaps, err := mapN(s, len(regions), func(i int) (*analysis.RegionSnapshot, error) {
+		return analysis.Snapshot(regions[i], s.Zones(), s.Traces(), at)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig2Result{Snapshots: snaps}, nil
 }
 
 // String renders the snapshot table.
@@ -121,20 +134,33 @@ type Fig3Result struct {
 	WestRatio, EURatio float64
 }
 
-// Fig3 computes yearly statistics for the two headline regions.
+// Fig3 computes yearly statistics for the two headline regions
+// concurrently.
 func (s *Suite) Fig3() (*Fig3Result, error) {
-	regions := analysis.PaperRegions()
+	var targets []analysis.MesoscaleRegion
+	for _, reg := range analysis.PaperRegions() {
+		if reg.Name == "West US" || reg.Name == "Central EU" {
+			targets = append(targets, reg)
+		}
+	}
+	type yearly struct {
+		stats []analysis.YearlyStats
+		ratio float64
+	}
+	data, err := mapN(s, len(targets), func(i int) (yearly, error) {
+		stats, ratio, err := analysis.Yearly(targets[i], s.Zones(), s.Traces())
+		return yearly{stats: stats, ratio: ratio}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig3Result{}
-	var err error
-	for _, reg := range regions {
+	for i, reg := range targets {
 		switch reg.Name {
 		case "West US":
-			res.WestUS, res.WestRatio, err = analysis.Yearly(reg, s.Zones(), s.Traces())
+			res.WestUS, res.WestRatio = data[i].stats, data[i].ratio
 		case "Central EU":
-			res.CentralEU, res.EURatio, err = analysis.Yearly(reg, s.Zones(), s.Traces())
-		}
-		if err != nil {
-			return nil, err
+			res.CentralEU, res.EURatio = data[i].stats, data[i].ratio
 		}
 	}
 	return res, nil
@@ -163,27 +189,41 @@ type Fig4Result struct {
 	Monthly map[string][]float64
 }
 
-// Fig4 computes the spatio-temporal variation series.
+// Fig4 computes the spatio-temporal variation series, one worker per zone.
 func (s *Suite) Fig4() (*Fig4Result, error) {
 	reg := analysis.PaperRegions()[1] // West US
-	res := &Fig4Result{TwoDay: map[string][]float64{}, Monthly: map[string][]float64{}}
 	dec25 := time.Date(2023, 12, 25, 0, 0, 0, 0, time.UTC)
 	from := int(dec25.Sub(s.Traces().Start) / time.Hour)
-	for _, id := range reg.ZoneIDs {
+	type zoneData struct {
+		name    string
+		twoDay  []float64
+		monthly []float64
+	}
+	data, err := mapN(s, len(reg.ZoneIDs), func(i int) (zoneData, error) {
+		id := reg.ZoneIDs[i]
 		z := s.Zones().ByID(id)
 		tr := s.Traces().Trace(id)
 		if z == nil || tr == nil {
-			return nil, fmt.Errorf("experiments: missing zone %s", id)
+			return zoneData{}, fmt.Errorf("experiments: missing zone %s", id)
 		}
-		res.ZoneNames = append(res.ZoneNames, z.Name)
 		win, err := tr.Slice(from, from+48)
 		if err != nil {
-			return nil, err
+			return zoneData{}, err
 		}
-		res.TwoDay[z.Name] = win.Values
+		d := zoneData{name: z.Name, twoDay: win.Values}
 		for _, m := range tr.MonthlyMeans() {
-			res.Monthly[z.Name] = append(res.Monthly[z.Name], m.Mean)
+			d.monthly = append(d.monthly, m.Mean)
 		}
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{TwoDay: map[string][]float64{}, Monthly: map[string][]float64{}}
+	for _, d := range data {
+		res.ZoneNames = append(res.ZoneNames, d.name)
+		res.TwoDay[d.name] = d.twoDay
+		res.Monthly[d.name] = d.monthly
 	}
 	return res, nil
 }
@@ -271,17 +311,24 @@ type Fig5Result struct {
 	Summaries []analysis.RadiusCDFSummary
 }
 
-// Fig5 runs the radius study at the paper's three radii.
+// fig5Radii are the paper's three search radii (km).
+var fig5Radii = []float64{200, 500, 1000}
+
+// Fig5 runs the radius study at the paper's three radii, one worker per
+// radius.
 func (s *Suite) Fig5() (*Fig5Result, error) {
-	res := &Fig5Result{}
-	for _, radius := range []float64{200, 500, 1000} {
+	summaries, err := mapN(s, len(fig5Radii), func(i int) (analysis.RadiusCDFSummary, error) {
+		radius := fig5Radii[i]
 		savings, err := analysis.RadiusStudy(s.Dep(), s.Zones(), s.Traces(), latency.DefaultModel(), radius)
 		if err != nil {
-			return nil, err
+			return analysis.RadiusCDFSummary{}, err
 		}
-		res.Summaries = append(res.Summaries, analysis.SummarizeRadius(radius, savings))
+		return analysis.SummarizeRadius(radius, savings), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5Result{Summaries: summaries}, nil
 }
 
 // String renders the CDF annotations the way the paper's panels do.

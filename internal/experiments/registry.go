@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Runner executes one named experiment and returns its printable result.
@@ -46,11 +47,45 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID and returns its printable
+// result.
 func Run(s *Suite, id string) (fmt.Stringer, error) {
+	rep, err := RunReport(s, id)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Value, nil
+}
+
+// Report is the structured outcome of one experiment: the typed result
+// value (e.g. *Fig12Result) plus execution telemetry. Commands and
+// benchmark harnesses consume this instead of the bare fmt.Stringer.
+type Report struct {
+	// ID is the experiment's registry key.
+	ID string
+	// Value is the experiment's structured result; every result also
+	// implements fmt.Stringer for rendering.
+	Value fmt.Stringer
+	// Elapsed is the experiment's wall-clock time.
+	Elapsed time.Duration
+}
+
+// String renders the experiment header (ID + wall clock) and the result.
+func (r *Report) String() string {
+	return fmt.Sprintf("=== %s (%.1fs) ===\n%s", r.ID, r.Elapsed.Seconds(), r.Value)
+}
+
+// RunReport executes the experiment with the given ID and returns its
+// structured report.
+func RunReport(s *Suite, id string) (*Report, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(s)
+	start := time.Now()
+	v, err := r(s)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return &Report{ID: id, Value: v, Elapsed: time.Since(start)}, nil
 }

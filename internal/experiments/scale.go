@@ -10,7 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/energy"
 	"repro/internal/placement"
-	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Fig17Point is one scalability sample.
@@ -96,26 +96,33 @@ func measure(nApps, nServers int) (Fig17Point, error) {
 	}, nil
 }
 
-// Fig17 sweeps both input dimensions. The paper's OR-Tools solver handles
-// 400 servers x 140 apps within 3 s and 200 MB; our heuristic backend
-// (which the placer uses at this scale) should stay well inside both.
+// fig17Size is one swept (apps, servers) instance size.
+type fig17Size struct{ apps, servers int }
+
+// fig17ByServers sweeps server count at 50 apps; fig17ByApps sweeps app
+// count at 400 servers.
+var (
+	fig17ByServers = []fig17Size{{50, 100}, {50, 200}, {50, 300}, {50, 400}}
+	fig17ByApps    = []fig17Size{{20, 400}, {60, 400}, {100, 400}, {140, 400}}
+)
+
+// Fig17 sweeps both input dimensions through the sweep runner, pinned to
+// one worker: SolveTime and AllocMB are process-global measurements
+// (wall clock, runtime.MemStats), so any concurrent grid activity —
+// including another point's instance generation — would cross-charge
+// them. Grid declaration and result ordering still go through sweep.
 func (s *Suite) Fig17() (*Fig17Result, error) {
-	res := &Fig17Result{}
-	for _, n := range []int{100, 200, 300, 400} {
-		pt, err := measure(50, n)
-		if err != nil {
-			return nil, err
-		}
-		res.ByServers = append(res.ByServers, pt)
+	grid := append(append([]fig17Size{}, fig17ByServers...), fig17ByApps...)
+	pts, err := sweep.Map(1, len(grid), func(i int) (Fig17Point, error) {
+		return measure(grid[i].apps, grid[i].servers)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, n := range []int{20, 60, 100, 140} {
-		pt, err := measure(n, 400)
-		if err != nil {
-			return nil, err
-		}
-		res.ByApps = append(res.ByApps, pt)
-	}
-	return res, nil
+	return &Fig17Result{
+		ByServers: pts[:len(fig17ByServers)],
+		ByApps:    pts[len(fig17ByServers):],
+	}, nil
 }
 
 // String renders both sweeps.
@@ -140,40 +147,60 @@ type AblationSolverResult struct {
 	HeurFeasible bool
 }
 
-// AblationSolver measures the heuristic's optimality gap.
+// AblationSolver measures the heuristic's optimality gap over ten trials.
+// Like Fig17 the trials run through the sweep runner pinned to one
+// worker: the exact-vs-heuristic solve times are wall-clock measurements
+// that concurrent trials would inflate with scheduler contention.
 func (s *Suite) AblationSolver() (*AblationSolverResult, error) {
-	res := &AblationSolverResult{HeurFeasible: true}
-	var gapSum float64
-	for trial := 0; trial < 10; trial++ {
+	type trialResult struct {
+		gap        float64
+		exact      time.Duration
+		heur       time.Duration
+		infeasible bool
+	}
+	trials, err := sweep.Map(1, 10, func(trial int) (trialResult, error) {
 		prob, err := SyntheticProblem(4+trial%4, 6+trial%5, int64(trial))
 		if err != nil {
-			return nil, err
+			return trialResult{}, err
 		}
+		var tr trialResult
 		t0 := time.Now()
 		exact, err := placement.NewExactSolver().Solve(prob, placement.CarbonAware{})
-		res.ExactTime += time.Since(t0)
+		tr.exact = time.Since(t0)
 		if err != nil {
-			return nil, err
+			return trialResult{}, err
 		}
 		t0 = time.Now()
 		heur, err := placement.NewHeuristicSolver().Solve(prob, placement.CarbonAware{})
-		res.HeurTime += time.Since(t0)
+		tr.heur = time.Since(t0)
 		if err != nil {
-			return nil, err
+			return trialResult{}, err
 		}
-		if prob.CheckFeasible(heur) != nil {
-			res.HeurFeasible = false
-		}
+		tr.infeasible = prob.CheckFeasible(heur) != nil
 		me, mh := prob.Evaluate(exact), prob.Evaluate(heur)
 		if me.CarbonGPerHour > 0 {
 			gap := (mh.CarbonGPerHour - me.CarbonGPerHour) / me.CarbonGPerHour * 100
 			if gap < 0 {
 				gap = 0
 			}
-			gapSum += gap
-			if gap > res.MaxGapPct {
-				res.MaxGapPct = gap
-			}
+			tr.gap = gap
+		}
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationSolverResult{HeurFeasible: true}
+	var gapSum float64
+	for _, tr := range trials {
+		gapSum += tr.gap
+		if tr.gap > res.MaxGapPct {
+			res.MaxGapPct = tr.gap
+		}
+		res.ExactTime += tr.exact
+		res.HeurTime += tr.heur
+		if tr.infeasible {
+			res.HeurFeasible = false
 		}
 		res.Instances++
 	}
@@ -196,25 +223,30 @@ type AblationForecastResult struct {
 	CarbonG map[string]float64
 }
 
-// AblationForecast runs the European CDN month under three forecasters.
+// AblationForecast runs the European CDN month under three forecasters,
+// as one three-point grid.
 func (s *Suite) AblationForecast() (*AblationForecastResult, error) {
-	res := &AblationForecastResult{CarbonG: map[string]float64{}}
 	forecasters := []carbon.Forecaster{
 		carbon.SeasonalNaive{Period: 24},
 		carbon.EWMA{Alpha: 0.2},
 		carbon.Oracle{},
 	}
+	g := s.newGrid()
 	for _, fc := range forecasters {
 		cfg := s.cdnConfig(carbon.RegionEurope, placement.CarbonAware{})
 		cfg.Forecaster = fc
 		if cfg.Hours > 24*30 {
 			cfg.Hours = 24 * 30
 		}
-		r, err := sim.Run(cfg, s.World)
-		if err != nil {
-			return nil, err
-		}
-		res.CarbonG[fc.Name()] = r.CarbonG
+		g.Add(fc.Name(), cfg)
+	}
+	runs, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationForecastResult{CarbonG: map[string]float64{}}
+	for i, fc := range forecasters {
+		res.CarbonG[fc.Name()] = runs[i].CarbonG
 	}
 	return res, nil
 }
@@ -238,21 +270,28 @@ type AblationBatchResult struct {
 	Batches map[int]int
 }
 
-// AblationBatch compares batching intervals.
+// ablationBatchHours are the swept batching intervals.
+var ablationBatchHours = []int{1, 3, 6, 12}
+
+// AblationBatch compares batching intervals as a four-point grid.
 func (s *Suite) AblationBatch() (*AblationBatchResult, error) {
-	res := &AblationBatchResult{CarbonG: map[int]float64{}, Batches: map[int]int{}}
-	for _, bh := range []int{1, 3, 6, 12} {
+	g := s.newGrid()
+	for _, bh := range ablationBatchHours {
 		cfg := s.cdnConfig(carbon.RegionEurope, placement.CarbonAware{})
 		cfg.BatchHours = bh
 		if cfg.Hours > 24*30 {
 			cfg.Hours = 24 * 30
 		}
-		r, err := sim.Run(cfg, s.World)
-		if err != nil {
-			return nil, err
-		}
-		res.CarbonG[bh] = r.CarbonG
-		res.Batches[bh] = r.Batches
+		g.Add(fmt.Sprintf("batch=%dh", bh), cfg)
+	}
+	runs, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationBatchResult{CarbonG: map[int]float64{}, Batches: map[int]int{}}
+	for i, bh := range ablationBatchHours {
+		res.CarbonG[bh] = runs[i].CarbonG
+		res.Batches[bh] = runs[i].Batches
 	}
 	return res, nil
 }
@@ -260,7 +299,7 @@ func (s *Suite) AblationBatch() (*AblationBatchResult, error) {
 // String renders the batching ablation.
 func (r *AblationBatchResult) String() string {
 	rows := [][]string{{"batch (h)", "carbon (g)", "solver invocations"}}
-	for _, bh := range []int{1, 3, 6, 12} {
+	for _, bh := range ablationBatchHours {
 		rows = append(rows, []string{fmt.Sprint(bh), f1(r.CarbonG[bh]), fmt.Sprint(r.Batches[bh])})
 	}
 	return table("Ablation (batch interval): placement quality vs solver invocations", rows)
@@ -282,25 +321,23 @@ func (noActivation) Name() string                                       { return
 func (noActivation) ActivationCost(p *placement.Problem, j int) float64 { return 0 }
 
 // AblationActivation compares placements with and without the activation
-// term in a power-managed deployment.
+// term in a power-managed deployment — a two-point grid.
 func (s *Suite) AblationActivation() (*AblationActivationResult, error) {
-	run := func(pol placement.Policy) (*sim.Result, error) {
+	g := s.newGrid()
+	for _, pol := range []placement.Policy{placement.CarbonAware{}, noActivation{}} {
 		cfg := s.cdnConfig(carbon.RegionEurope, pol)
 		cfg.ServersAlwaysOn = false
 		cfg.ArrivalsPerHour = 2
 		if cfg.Hours > 24*30 {
 			cfg.Hours = 24 * 30
 		}
-		return sim.Run(cfg, s.World)
+		g.Add(pol.Name(), cfg)
 	}
-	with, err := run(placement.CarbonAware{})
+	runs, err := g.Run()
 	if err != nil {
 		return nil, err
 	}
-	without, err := run(noActivation{})
-	if err != nil {
-		return nil, err
-	}
+	with, without := runs[0], runs[1]
 	return &AblationActivationResult{
 		WithTermG: with.CarbonG, WithoutTermG: without.CarbonG,
 		WithTermKWh: with.EnergyKWh, WithoutKWh: without.EnergyKWh,
@@ -329,24 +366,24 @@ type ExtRedeployResult struct {
 
 // ExtRedeploy compares static placement against 12-hourly redeployment for
 // week-long applications in the European CDN, charging 500 MB of state
-// transfer at 0.2 J/MB per migration.
+// transfer at 0.2 J/MB per migration. The two variants run concurrently.
 func (s *Suite) ExtRedeploy() (*ExtRedeployResult, error) {
 	cfg := s.cdnConfig(carbon.RegionEurope, placement.CarbonAware{})
 	cfg.AppLifetimeHours = 24 * 7
 	if cfg.Hours > 24*60 {
 		cfg.Hours = 24 * 60
 	}
-	static, err := sim.Run(cfg, s.World)
-	if err != nil {
-		return nil, err
-	}
+	g := s.newGrid()
+	g.Add("static", cfg)
 	cfg.RedeployEveryHours = 12
 	cfg.MigrationDataMB = 500
 	cfg.MigrationJPerMB = 0.2
-	dynamic, err := sim.Run(cfg, s.World)
+	g.Add("redeploy-12h", cfg)
+	runs, err := g.Run()
 	if err != nil {
 		return nil, err
 	}
+	static, dynamic := runs[0], runs[1]
 	res := &ExtRedeployResult{
 		StaticCarbonG:   static.CarbonG,
 		RedeployCarbonG: dynamic.CarbonG,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/latency"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Suite carries the shared datasets: the 148-zone registry with year
@@ -23,6 +24,10 @@ type Suite struct {
 	// CDNHours bounds the CDN simulations (8760 = the paper's year;
 	// benches use shorter spans).
 	CDNHours int
+	// Parallel is the worker-pool size simulation grids run on
+	// (<= 0 = GOMAXPROCS). Results are deterministic regardless of its
+	// value: every grid point owns its RNG.
+	Parallel int
 	World    *sim.World
 }
 
@@ -36,6 +41,18 @@ func NewSuite(seed int64, hours int) (*Suite, error) {
 		hours = 8760
 	}
 	return &Suite{Seed: seed, CDNHours: hours, World: w}, nil
+}
+
+// newGrid starts an empty simulation grid over the shared world at the
+// suite's parallelism.
+func (s *Suite) newGrid() *sweep.Grid {
+	return &sweep.Grid{World: s.World, Parallel: s.Parallel}
+}
+
+// mapN runs fn over n indices on the suite's worker pool, results in
+// index order (sweep.Map at the suite's parallelism).
+func mapN[T any](s *Suite, n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep.Map(s.Parallel, n, fn)
 }
 
 // Zones is shorthand for the zone registry.

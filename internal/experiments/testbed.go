@@ -139,35 +139,42 @@ type Fig10Result struct {
 	Rows []Fig10Row
 }
 
-// Fig10 runs both regions x both applications x both policies.
+// Fig10 runs both regions x both applications x both policies — eight
+// independent testbed day-runs, swept concurrently (each run builds its
+// own testbed; the suite datasets are read-only).
 func (s *Suite) Fig10() (*Fig10Result, error) {
-	res := &Fig10Result{}
+	type cell struct {
+		region testbed.Region
+		model  string
+		policy placement.Policy
+	}
+	var cells []cell
 	for _, region := range []testbed.Region{testbed.Florida(), testbed.CentralEU()} {
 		for _, model := range []string{energy.ModelSci, energy.ModelResNet50} {
-			la, err := s.newTestbed(region, placement.LatencyAware{})
-			if err != nil {
-				return nil, err
-			}
-			dayLA, err := la.RunDay(model, 10, 20)
-			if err != nil {
-				return nil, err
-			}
-			ce, err := s.newTestbed(region, placement.CarbonAware{})
-			if err != nil {
-				return nil, err
-			}
-			dayCE, err := ce.RunDay(model, 10, 20)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Fig10Row{
-				Region: region.Name, App: model,
-				LatencyAwareG:     dayLA.TotalCarbonG,
-				CarbonEdgeG:       dayCE.TotalCarbonG,
-				SavingPct:         (dayLA.TotalCarbonG - dayCE.TotalCarbonG) / dayLA.TotalCarbonG * 100,
-				LatencyIncreaseMs: dayCE.MeanResponseMs - dayLA.MeanResponseMs,
-			})
+			cells = append(cells, cell{region, model, placement.LatencyAware{}})
+			cells = append(cells, cell{region, model, placement.CarbonAware{}})
 		}
+	}
+	days, err := mapN(s, len(cells), func(i int) (*testbed.DayResult, error) {
+		tb, err := s.newTestbed(cells[i].region, cells[i].policy)
+		if err != nil {
+			return nil, err
+		}
+		return tb.RunDay(cells[i].model, 10, 20)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{}
+	for i := 0; i < len(cells); i += 2 {
+		dayLA, dayCE := days[i], days[i+1]
+		res.Rows = append(res.Rows, Fig10Row{
+			Region: cells[i].region.Name, App: cells[i].model,
+			LatencyAwareG:     dayLA.TotalCarbonG,
+			CarbonEdgeG:       dayCE.TotalCarbonG,
+			SavingPct:         (dayLA.TotalCarbonG - dayCE.TotalCarbonG) / dayLA.TotalCarbonG * 100,
+			LatencyIncreaseMs: dayCE.MeanResponseMs - dayLA.MeanResponseMs,
+		})
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/energy"
@@ -558,5 +559,53 @@ func TestPolicyNames(t *testing.T) {
 	}
 	if got := NewCarbonEnergyBlend(0.25).Name(); got != "CarbonEdge(alpha=0.25)" {
 		t.Errorf("blend name = %q", got)
+	}
+}
+
+// failingSolver sleeps, then rejects every instance, forcing the placer's
+// heuristic fallback.
+type failingSolver struct{ delay time.Duration }
+
+func (s failingSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
+	time.Sleep(s.delay)
+	return nil, fmt.Errorf("stub: no incumbent")
+}
+
+func TestPlacerFallbackTiming(t *testing.T) {
+	// On heuristic fallback, SolveTime must cover only the fallback
+	// solver's own run; the failed exact attempt is reported separately
+	// via TotalSolveTime.
+	p := buildFixture(t, 2, 20)
+	delay := 50 * time.Millisecond
+	pl := NewPlacer(CarbonAware{})
+	pl.Exact = failingSolver{delay: delay}
+	res, err := pl.Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "heuristic-fallback" {
+		t.Fatalf("backend = %q, want heuristic-fallback", res.Backend)
+	}
+	if res.SolveTime >= delay {
+		t.Errorf("SolveTime %v includes the failed exact attempt (%v stub delay)", res.SolveTime, delay)
+	}
+	if res.TotalSolveTime < delay {
+		t.Errorf("TotalSolveTime %v should include the failed exact attempt (%v)", res.TotalSolveTime, delay)
+	}
+	if res.TotalSolveTime < res.SolveTime {
+		t.Errorf("TotalSolveTime %v < SolveTime %v", res.TotalSolveTime, res.SolveTime)
+	}
+}
+
+func TestPlacerNoFallbackTimesMatch(t *testing.T) {
+	res, err := NewPlacer(CarbonAware{}).Place(buildFixture(t, 2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "exact" {
+		t.Fatalf("backend = %q, want exact", res.Backend)
+	}
+	if res.TotalSolveTime < res.SolveTime {
+		t.Errorf("TotalSolveTime %v < SolveTime %v without fallback", res.TotalSolveTime, res.SolveTime)
 	}
 }

@@ -40,10 +40,16 @@ func NewPlacer(pol Policy) *Placer {
 type Result struct {
 	Assignment *Assignment
 	Metrics    Metrics
-	// Backend names the solver used ("exact" or "heuristic").
+	// Backend names the solver used ("exact", "heuristic", or
+	// "heuristic-fallback").
 	Backend string
-	// SolveTime is the optimization wall-clock time.
+	// SolveTime is the wall-clock time of the solver that produced the
+	// assignment; on heuristic fallback it covers only the fallback
+	// solve, not the failed exact attempt.
 	SolveTime time.Duration
+	// TotalSolveTime is the end-to-end optimization time including any
+	// failed exact attempt; equal to SolveTime when no fallback occurred.
+	TotalSolveTime time.Duration
 }
 
 // Place solves one batch (Algorithm 1 lines 1-10).
@@ -86,15 +92,19 @@ func (pl *Placer) Place(p *Problem) (*Result, error) {
 	solveTime := time.Since(start)
 	if err != nil && backend == "exact" {
 		// The exact backend can reject edge cases (e.g. time limit with
-		// no incumbent); fall back rather than fail the batch.
+		// no incumbent); fall back rather than fail the batch. Time the
+		// fallback solve on its own so SolveTime reflects the backend
+		// that actually produced the assignment.
 		backend = "heuristic-fallback"
 		h := pl.Heuristic
 		if h == nil {
 			h = NewHeuristicSolver()
 		}
+		t1 := time.Now()
 		a, err = h.Solve(p, pol)
-		solveTime = time.Since(start)
+		solveTime = time.Since(t1)
 	}
+	totalTime := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("placement: %s backend: %w", backend, err)
 	}
@@ -102,9 +112,10 @@ func (pl *Placer) Place(p *Problem) (*Result, error) {
 		return nil, fmt.Errorf("placement: %s backend returned infeasible assignment: %w", backend, err)
 	}
 	return &Result{
-		Assignment: a,
-		Metrics:    p.Evaluate(a),
-		Backend:    backend,
-		SolveTime:  solveTime,
+		Assignment:     a,
+		Metrics:        p.Evaluate(a),
+		Backend:        backend,
+		SolveTime:      solveTime,
+		TotalSolveTime: totalTime,
 	}, nil
 }

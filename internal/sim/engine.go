@@ -1,0 +1,451 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/cluster"
+	"repro/internal/deploy"
+	"repro/internal/energy"
+	"repro/internal/latency"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+)
+
+// Observer taps the engine after each committed epoch. The result pointer
+// is the engine's live accumulator: read it, don't mutate it. Observers
+// run on the engine's goroutine, so a slow observer slows the simulation.
+type Observer interface {
+	// OnEpoch fires after epoch's departures, placements, and accruals
+	// have committed. now is the epoch's wall-clock instant in the trace
+	// year.
+	OnEpoch(epoch int, now time.Time, res *Result)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(epoch int, now time.Time, res *Result)
+
+// OnEpoch implements Observer.
+func (f ObserverFunc) OnEpoch(epoch int, now time.Time, res *Result) { f(epoch, now, res) }
+
+// Engine is the stepwise form of the simulator: NewEngine builds the
+// deployment state, each Step advances one hourly epoch (departures,
+// optional redeployment, arrivals, batched placement, emission accrual),
+// and Finish returns the accumulated Result. Run is a thin loop over it;
+// orchestration layers that need to observe or interleave simulations
+// mid-flight drive Step directly.
+//
+// An Engine is single-goroutine (not safe for concurrent Step calls), but
+// any number of engines may share one World: all world data is read-only.
+type Engine struct {
+	cfg Config
+	w   *World
+	rng *rand.Rand
+
+	sites         []*deploy.Site
+	rtt           [][]float64 // pairwise RTT between site cities
+	siteIdxByCity map[string]int
+	demandW       []float64
+	servers       []*siteServer
+
+	svc     *carbon.Service
+	horizon int
+	solver  *placement.HeuristicSolver
+
+	res        *Result
+	live       []*liveApp
+	backlog    []placement.App
+	backlogSrc []int
+	appSeq     int
+	start      time.Time
+	epoch      int
+
+	observers []Observer
+}
+
+// NewEngine validates the config and builds the simulation state against
+// the shared world.
+func NewEngine(cfg Config, w *World) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sites := w.Dep.InRegion(cfg.Region)
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("sim: no sites in region %v", cfg.Region)
+	}
+	e := &Engine{
+		cfg:   cfg,
+		w:     w,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sites: sites,
+	}
+
+	// Latency model per region.
+	var model latency.Model
+	switch cfg.Region {
+	case carbon.RegionUS:
+		model = latency.USModel()
+	case carbon.RegionEurope:
+		model = latency.EuropeModel()
+	default:
+		model = latency.DefaultModel()
+	}
+	e.rtt = make([][]float64, len(sites))
+	for i := range sites {
+		e.rtt[i] = make([]float64, len(sites))
+		for j := range sites {
+			if i != j {
+				e.rtt[i][j] = model.RTTMs(sites[i].Location, sites[j].Location)
+			}
+		}
+	}
+	e.siteIdxByCity = map[string]int{}
+	for i, s := range sites {
+		e.siteIdxByCity[s.City] = i
+	}
+
+	// Demand and capacity weights.
+	e.demandW = weights(sites, cfg.Demand)
+	capW := weights(sites, cfg.Capacity)
+	var capTotal float64
+	for _, v := range capW {
+		capTotal += v
+	}
+
+	// Build per-site aggregate servers.
+	for i := range sites {
+		scale := capW[i] / capTotal * float64(len(sites))
+		for _, devName := range cfg.Devices {
+			dev, err := energy.DeviceByName(devName)
+			if err != nil {
+				return nil, err
+			}
+			capMilli := cfg.CapacityMilliPerSite * scale
+			e.servers = append(e.servers, &siteServer{
+				site:   i,
+				device: dev,
+				cap: cluster.NewResources(capMilli,
+					float64(dev.MemMB)*scale*4, float64(dev.MemMB)*scale, 1e9),
+				on: cfg.ServersAlwaysOn,
+			})
+		}
+	}
+
+	// Carbon service for forecasts.
+	fc := cfg.Forecaster
+	if fc == nil {
+		fc = carbon.SeasonalNaive{Period: 24}
+	}
+	e.svc = carbon.NewService(w.Traces, fc)
+	e.horizon = cfg.ForecastHorizonHours
+	if e.horizon <= 0 {
+		e.horizon = 24
+	}
+
+	e.solver = placement.NewHeuristicSolver()
+	e.res = &Result{
+		PlacementsByCity:  metrics.NewCounter(),
+		MonthlyPlacements: metrics.NewCounter(),
+	}
+	e.start = w.Traces.Start.Add(time.Duration(cfg.StartHour) * time.Hour)
+	return e, nil
+}
+
+// AddObserver registers a per-epoch metrics tap.
+func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
+
+// Epoch is the index of the next epoch Step will execute.
+func (e *Engine) Epoch() int { return e.epoch }
+
+// Done reports whether the configured span has been simulated.
+func (e *Engine) Done() bool { return e.epoch >= e.cfg.Hours }
+
+// Finish returns the accumulated result. It may be called mid-run to
+// inspect partial state; the engine keeps owning the pointer until Done.
+func (e *Engine) Finish() *Result { return e.res }
+
+// Step advances the simulation by one hourly epoch. Calling Step after
+// Done reports true is an error.
+func (e *Engine) Step() error {
+	if e.Done() {
+		return fmt.Errorf("sim: Step past end of %d-hour span", e.cfg.Hours)
+	}
+	epoch := e.epoch
+	now := e.start.Add(time.Duration(epoch) * time.Hour)
+	if _, err := e.w.Traces.Trace(e.sites[0].ZoneID).IndexOf(now); err != nil {
+		return fmt.Errorf("sim: epoch %d outside trace span: %w", epoch, err)
+	}
+	month := int(now.Month()) - 1
+
+	e.stepDepartures(epoch)
+	if e.cfg.RedeployEveryHours > 0 && epoch > 0 && epoch%e.cfg.RedeployEveryHours == 0 && len(e.live) > 0 {
+		if err := e.redeploy(now); err != nil {
+			return err
+		}
+	}
+	e.stepArrivals()
+	apps, srcIdx := e.drainBatch(epoch)
+	if len(apps) > 0 {
+		if err := e.stepPlacement(apps, srcIdx, now, epoch, month); err != nil {
+			return err
+		}
+	}
+	if err := e.stepAccrual(now, month); err != nil {
+		return err
+	}
+
+	e.epoch++
+	for _, o := range e.observers {
+		o.OnEpoch(epoch, now, e.res)
+	}
+	return nil
+}
+
+// stepDepartures releases apps whose lifetime ended before this epoch.
+func (e *Engine) stepDepartures(epoch int) {
+	keep := e.live[:0]
+	for _, a := range e.live {
+		if a.expires > epoch {
+			keep = append(keep, a)
+			continue
+		}
+		srv := a.serverIn(e.servers, e.cfg)
+		srv.used = srv.used.Sub(a.demand(e.cfg))
+		if srv.used.Dominant(srv.cap) <= 0 && !e.cfg.ServersAlwaysOn {
+			srv.on = false
+		}
+	}
+	e.live = keep
+}
+
+// stepArrivals draws this epoch's Poisson arrivals into the backlog
+// (source site sampled by demand weight).
+func (e *Engine) stepArrivals() {
+	n := poisson(e.rng, e.cfg.ArrivalsPerHour)
+	for k := 0; k < n; k++ {
+		src := sampleWeighted(e.rng, e.demandW)
+		model := e.cfg.Model
+		if len(e.cfg.Models) > 0 {
+			model = e.cfg.Models[e.rng.Intn(len(e.cfg.Models))]
+		}
+		e.backlog = append(e.backlog, placement.App{
+			ID:         fmt.Sprintf("app-%d", e.appSeq),
+			Model:      model,
+			Source:     e.sites[src].City,
+			SLOms:      e.cfg.RTTLimitMs,
+			RatePerSec: e.cfg.RatePerSec,
+		})
+		e.backlogSrc = append(e.backlogSrc, src)
+		e.appSeq++
+	}
+}
+
+// drainBatch empties the backlog every BatchHours (Algorithm 1 batching)
+// and at the final epoch.
+func (e *Engine) drainBatch(epoch int) ([]placement.App, []int) {
+	batchHours := e.cfg.BatchHours
+	if batchHours <= 0 {
+		batchHours = 1
+	}
+	if (epoch+1)%batchHours == 0 || epoch == e.cfg.Hours-1 {
+		apps, srcIdx := e.backlog, e.backlogSrc
+		e.backlog, e.backlogSrc = nil, nil
+		return apps, srcIdx
+	}
+	return nil, nil
+}
+
+// stepPlacement solves Algorithm 1 on one batch and commits the placements.
+func (e *Engine) stepPlacement(apps []placement.App, srcIdx []int, now time.Time, epoch, month int) error {
+	pservers, err := e.serverViews(now)
+	if err != nil {
+		return err
+	}
+	prob, err := placement.Build(apps, pservers, e.rttOracle, nil)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	asg, err := e.solver.Solve(prob, e.cfg.Policy)
+	if err != nil {
+		return err
+	}
+	e.res.SolveTime += time.Since(t0)
+	e.res.Batches++
+
+	for i, j := range asg.ServerOf {
+		if j < 0 {
+			e.res.Unplaced++
+			continue
+		}
+		e.res.Placed++
+		srv := e.servers[j]
+		srv.used = srv.used.Add(prob.Demand[i][j])
+		srv.on = true
+		a := &liveApp{
+			site:    srv.site,
+			model:   apps[i].Model,
+			device:  srv.device.Name,
+			powerW:  prob.PowerW[i][j],
+			rttMs:   prob.LatencyMs[i][j],
+			expires: epoch + e.cfg.AppLifetimeHours,
+			srcSite: srcIdx[i],
+		}
+		e.live = append(e.live, a)
+		e.res.Latency.Add(a.rttMs)
+		e.res.MonthlyLatency[month].Add(a.rttMs)
+		city := e.sites[srv.site].City
+		e.res.PlacementsByCity.Inc(city, 1)
+		e.res.MonthlyPlacements.Inc(fmt.Sprintf("%s/%d", city, month), 1)
+	}
+	return nil
+}
+
+// stepAccrual charges every live app's dynamic energy — plus woken
+// servers' base power when power management is on — at the hosting zone's
+// actual hourly carbon intensity.
+func (e *Engine) stepAccrual(now time.Time, month int) error {
+	for _, a := range e.live {
+		ci, err := e.svc.Current(e.sites[a.site].ZoneID, now)
+		if err != nil {
+			return err
+		}
+		kwh := a.powerW / 1000
+		e.res.CarbonG += kwh * ci
+		e.res.EnergyKWh += kwh
+		e.res.MonthlyCarbonG[month] += kwh * ci
+		if e.cfg.CollectLoadCI {
+			e.res.LoadCI = append(e.res.LoadCI, ci)
+		}
+	}
+	if !e.cfg.ServersAlwaysOn {
+		for _, srv := range e.servers {
+			if srv.on {
+				ci, err := e.svc.Current(e.sites[srv.site].ZoneID, now)
+				if err != nil {
+					return err
+				}
+				kwh := srv.device.IdleW / 1000
+				e.res.CarbonG += kwh * ci
+				e.res.EnergyKWh += kwh
+				e.res.MonthlyCarbonG[month] += kwh * ci
+			}
+		}
+	}
+	return nil
+}
+
+// serverViews builds the placement view of every site server at the given
+// instant (forecast intensity, free capacity, power state).
+func (e *Engine) serverViews(now time.Time) ([]placement.Server, error) {
+	pservers := make([]placement.Server, len(e.servers))
+	for j, srv := range e.servers {
+		mean, err := e.svc.MeanForecast(e.sites[srv.site].ZoneID, now, e.horizon)
+		if err != nil {
+			return nil, err
+		}
+		pservers[j] = placement.Server{
+			ID:         fmt.Sprintf("srv-%d", j),
+			DC:         e.sites[srv.site].City,
+			Device:     srv.device.Name,
+			Intensity:  mean,
+			BasePowerW: srv.device.IdleW,
+			PoweredOn:  srv.on,
+			Free:       srv.cap.Sub(srv.used),
+		}
+	}
+	return pservers, nil
+}
+
+// rttOracle resolves the pairwise RTT between two site cities.
+func (e *Engine) rttOracle(source, dc string) float64 {
+	return e.rtt[e.siteIdxByCity[source]][e.siteIdxByCity[dc]]
+}
+
+// redeploy re-places all live applications (the §7 extension). Apps keep
+// their previous placement when the solver cannot improve on feasibility;
+// relocated apps pay the configured data-movement energy at the
+// destination zone's current carbon intensity.
+func (e *Engine) redeploy(now time.Time) error {
+	// Free every live app's resources so the solver sees the full space.
+	type prev struct {
+		site   int
+		device string
+	}
+	prevs := make([]prev, len(e.live))
+	for i, a := range e.live {
+		prevs[i] = prev{a.site, a.device}
+		srv := a.serverIn(e.servers, e.cfg)
+		srv.used = srv.used.Sub(a.demand(e.cfg))
+		if srv.used.Dominant(srv.cap) <= 0 && !e.cfg.ServersAlwaysOn {
+			srv.on = false
+		}
+	}
+
+	apps := make([]placement.App, len(e.live))
+	for i, a := range e.live {
+		apps[i] = placement.App{
+			ID:         fmt.Sprintf("redeploy-%d", i),
+			Model:      a.model,
+			Source:     e.sites[a.srcSite].City,
+			SLOms:      e.cfg.RTTLimitMs,
+			RatePerSec: e.cfg.RatePerSec,
+		}
+	}
+	pservers, err := e.serverViews(now)
+	if err != nil {
+		return err
+	}
+	prob, err := placement.Build(apps, pservers, e.rttOracle, nil)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	asg, err := e.solver.Solve(prob, e.cfg.Policy)
+	if err != nil {
+		return err
+	}
+	e.res.SolveTime += time.Since(t0)
+	e.res.Batches++
+
+	restore := func(i int) {
+		a := e.live[i]
+		a.site, a.device = prevs[i].site, prevs[i].device
+		srv := a.serverIn(e.servers, e.cfg)
+		srv.used = srv.used.Add(a.demand(e.cfg))
+		srv.on = true
+	}
+	for i, j := range asg.ServerOf {
+		if j < 0 {
+			restore(i)
+			continue
+		}
+		srv := e.servers[j]
+		a := e.live[i]
+		moved := srv.site != prevs[i].site || srv.device.Name != prevs[i].device
+		a.site, a.device = srv.site, srv.device.Name
+		a.powerW = prob.PowerW[i][j]
+		a.rttMs = prob.LatencyMs[i][j]
+		srv.used = srv.used.Add(prob.Demand[i][j])
+		srv.on = true
+		if moved {
+			e.res.Migrations++
+			joules := e.cfg.MigrationDataMB * e.cfg.MigrationJPerMB
+			if joules > 0 {
+				ci, err := e.svc.Current(e.sites[srv.site].ZoneID, now)
+				if err != nil {
+					return err
+				}
+				kwh := joules / 3.6e6
+				e.res.MigrationKWh += kwh
+				e.res.MigrationCarbonG += kwh * ci
+				e.res.EnergyKWh += kwh
+				e.res.CarbonG += kwh * ci
+				e.res.MonthlyCarbonG[int(now.Month())-1] += kwh * ci
+			}
+		}
+	}
+	return nil
+}

@@ -12,11 +12,12 @@ import (
 	"repro/internal/energy"
 	"repro/internal/latency"
 	"repro/internal/metrics"
-	"repro/internal/placement"
 )
 
 // World bundles the static datasets a simulation runs against, so sweeps
-// (Figures 12-16) can share one expensive setup.
+// (Figures 12-16) can share one expensive setup. All fields are treated as
+// immutable once built: any number of engines may read one World
+// concurrently.
 type World struct {
 	Zones  *carbon.Registry
 	Traces *carbon.TraceSet
@@ -103,258 +104,21 @@ type siteServer struct {
 	cap    cluster.Resources
 	used   cluster.Resources
 	on     bool
-	// everOn marks servers whose base power has begun accruing.
 }
 
-// Run executes the simulation.
+// Run executes the simulation to completion: a thin epoch loop over the
+// stepwise Engine.
 func Run(cfg Config, w *World) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	e, err := NewEngine(cfg, w)
+	if err != nil {
 		return nil, err
 	}
-	sites := w.Dep.InRegion(cfg.Region)
-	if len(sites) == 0 {
-		return nil, fmt.Errorf("sim: no sites in region %v", cfg.Region)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	// Latency model per region.
-	var model latency.Model
-	switch cfg.Region {
-	case carbon.RegionUS:
-		model = latency.USModel()
-	case carbon.RegionEurope:
-		model = latency.EuropeModel()
-	default:
-		model = latency.DefaultModel()
-	}
-	// Pairwise RTT between site cities.
-	rtt := make([][]float64, len(sites))
-	for i := range sites {
-		rtt[i] = make([]float64, len(sites))
-		for j := range sites {
-			if i != j {
-				rtt[i][j] = model.RTTMs(sites[i].Location, sites[j].Location)
-			}
+	for !e.Done() {
+		if err := e.Step(); err != nil {
+			return nil, err
 		}
 	}
-	siteIdxByCity := map[string]int{}
-	for i, s := range sites {
-		siteIdxByCity[s.City] = i
-	}
-
-	// Demand and capacity weights.
-	demandW := weights(sites, cfg.Demand)
-	capW := weights(sites, cfg.Capacity)
-	var capTotal float64
-	for _, v := range capW {
-		capTotal += v
-	}
-
-	// Build per-site aggregate servers.
-	var servers []*siteServer
-	for i := range sites {
-		scale := capW[i] / capTotal * float64(len(sites))
-		for _, devName := range cfg.Devices {
-			dev, err := energy.DeviceByName(devName)
-			if err != nil {
-				return nil, err
-			}
-			capMilli := cfg.CapacityMilliPerSite * scale
-			servers = append(servers, &siteServer{
-				site:   i,
-				device: dev,
-				cap: cluster.NewResources(capMilli,
-					float64(dev.MemMB)*scale*4, float64(dev.MemMB)*scale, 1e9),
-				on: cfg.ServersAlwaysOn,
-			})
-		}
-	}
-
-	// Carbon service for forecasts.
-	fc := cfg.Forecaster
-	if fc == nil {
-		fc = carbon.SeasonalNaive{Period: 24}
-	}
-	svc := carbon.NewService(w.Traces, fc)
-	horizon := cfg.ForecastHorizonHours
-	if horizon <= 0 {
-		horizon = 24
-	}
-
-	solver := placement.NewHeuristicSolver()
-	res := &Result{
-		PlacementsByCity:  metrics.NewCounter(),
-		MonthlyPlacements: metrics.NewCounter(),
-	}
-
-	// serverViews builds the placement view of every site server at the
-	// given instant (forecast intensity, free capacity, power state).
-	serverViews := func(now time.Time) ([]placement.Server, error) {
-		pservers := make([]placement.Server, len(servers))
-		for j, srv := range servers {
-			mean, err := svc.MeanForecast(sites[srv.site].ZoneID, now, horizon)
-			if err != nil {
-				return nil, err
-			}
-			pservers[j] = placement.Server{
-				ID:         fmt.Sprintf("srv-%d", j),
-				DC:         sites[srv.site].City,
-				Device:     srv.device.Name,
-				Intensity:  mean,
-				BasePowerW: srv.device.IdleW,
-				PoweredOn:  srv.on,
-				Free:       srv.cap.Sub(srv.used),
-			}
-		}
-		return pservers, nil
-	}
-	rttOracle := func(source, dc string) float64 {
-		return rtt[siteIdxByCity[source]][siteIdxByCity[dc]]
-	}
-
-	var live []*liveApp
-	var backlog []placement.App
-	var backlogSrc []int
-	appSeq := 0
-	start := w.Traces.Start.Add(time.Duration(cfg.StartHour) * time.Hour)
-
-	for epoch := 0; epoch < cfg.Hours; epoch++ {
-		now := start.Add(time.Duration(epoch) * time.Hour)
-		if _, err := w.Traces.Trace(sites[0].ZoneID).IndexOf(now); err != nil {
-			return nil, fmt.Errorf("sim: epoch %d outside trace span: %w", epoch, err)
-		}
-		month := int(now.Month()) - 1
-
-		// 1. Departures.
-		keep := live[:0]
-		for _, a := range live {
-			if a.expires > epoch {
-				keep = append(keep, a)
-				continue
-			}
-			srv := a.serverIn(servers, cfg)
-			srv.used = srv.used.Sub(a.demand(cfg))
-			if srv.used.Dominant(srv.cap) <= 0 && !cfg.ServersAlwaysOn {
-				srv.on = false
-			}
-		}
-		live = keep
-
-		// 1b. Periodic redeployment (the paper's §7 future-work
-		// extension): re-place every live app against current forecasts,
-		// paying a data-movement cost per migration.
-		if cfg.RedeployEveryHours > 0 && epoch > 0 && epoch%cfg.RedeployEveryHours == 0 && len(live) > 0 {
-			if err := redeploy(cfg, res, sites, servers, live, svc, solver, serverViews, rttOracle, now); err != nil {
-				return nil, err
-			}
-		}
-
-		// 2. Arrivals (Poisson over the region, source site by demand
-		// weight). Arrivals buffer into the backlog and are placed every
-		// BatchHours (Algorithm 1 batching).
-		n := poisson(rng, cfg.ArrivalsPerHour)
-		for k := 0; k < n; k++ {
-			src := sampleWeighted(rng, demandW)
-			model := cfg.Model
-			if len(cfg.Models) > 0 {
-				model = cfg.Models[rng.Intn(len(cfg.Models))]
-			}
-			backlog = append(backlog, placement.App{
-				ID:         fmt.Sprintf("app-%d", appSeq),
-				Model:      model,
-				Source:     sites[src].City,
-				SLOms:      cfg.RTTLimitMs,
-				RatePerSec: cfg.RatePerSec,
-			})
-			backlogSrc = append(backlogSrc, src)
-			appSeq++
-		}
-		batchHours := cfg.BatchHours
-		if batchHours <= 0 {
-			batchHours = 1
-		}
-		var apps []placement.App
-		var srcIdx []int
-		if (epoch+1)%batchHours == 0 || epoch == cfg.Hours-1 {
-			apps, srcIdx = backlog, backlogSrc
-			backlog, backlogSrc = nil, nil
-		}
-
-		// 3. Placement (Algorithm 1 on this batch).
-		if len(apps) > 0 {
-			pservers, err := serverViews(now)
-			if err != nil {
-				return nil, err
-			}
-			prob, err := placement.Build(apps, pservers, rttOracle, nil)
-			if err != nil {
-				return nil, err
-			}
-			t0 := time.Now()
-			asg, err := solver.Solve(prob, cfg.Policy)
-			if err != nil {
-				return nil, err
-			}
-			res.SolveTime += time.Since(t0)
-			res.Batches++
-
-			for i, j := range asg.ServerOf {
-				if j < 0 {
-					res.Unplaced++
-					continue
-				}
-				res.Placed++
-				srv := servers[j]
-				srv.used = srv.used.Add(prob.Demand[i][j])
-				srv.on = true
-				a := &liveApp{
-					site:    srv.site,
-					model:   apps[i].Model,
-					device:  srv.device.Name,
-					powerW:  prob.PowerW[i][j],
-					rttMs:   prob.LatencyMs[i][j],
-					expires: epoch + cfg.AppLifetimeHours,
-					srcSite: srcIdx[i],
-				}
-				live = append(live, a)
-				res.Latency.Add(a.rttMs)
-				res.MonthlyLatency[month].Add(a.rttMs)
-				city := sites[srv.site].City
-				res.PlacementsByCity.Inc(city, 1)
-				res.MonthlyPlacements.Inc(fmt.Sprintf("%s/%d", city, month), 1)
-			}
-		}
-
-		// 4. Accrue emissions and energy at the actual hourly intensity.
-		for _, a := range live {
-			ci, err := svc.Current(sites[a.site].ZoneID, now)
-			if err != nil {
-				return nil, err
-			}
-			kwh := a.powerW / 1000
-			res.CarbonG += kwh * ci
-			res.EnergyKWh += kwh
-			res.MonthlyCarbonG[month] += kwh * ci
-			if cfg.CollectLoadCI {
-				res.LoadCI = append(res.LoadCI, ci)
-			}
-		}
-		if !cfg.ServersAlwaysOn {
-			for _, srv := range servers {
-				if srv.on {
-					ci, err := svc.Current(sites[srv.site].ZoneID, now)
-					if err != nil {
-						return nil, err
-					}
-					kwh := srv.device.IdleW / 1000
-					res.CarbonG += kwh * ci
-					res.EnergyKWh += kwh
-					res.MonthlyCarbonG[month] += kwh * ci
-				}
-			}
-		}
-	}
-	return res, nil
+	return e.Finish(), nil
 }
 
 // serverIn resolves a live app's aggregate server.
@@ -454,94 +218,4 @@ func CompareToBaseline(policy, baseline *Result) Savings {
 		s.EnergyRatio = policy.EnergyKWh / baseline.EnergyKWh
 	}
 	return s
-}
-
-// redeploy re-places all live applications (the §7 extension). Apps keep
-// their previous placement when the solver cannot improve on feasibility;
-// relocated apps pay the configured data-movement energy at the
-// destination zone's current carbon intensity.
-func redeploy(cfg Config, res *Result, sites []*deploy.Site, servers []*siteServer,
-	live []*liveApp, svc *carbon.Service, solver *placement.HeuristicSolver,
-	serverViews func(time.Time) ([]placement.Server, error),
-	rttOracle placement.RTTFunc, now time.Time) error {
-
-	// Free every live app's resources so the solver sees the full space.
-	type prev struct {
-		site   int
-		device string
-	}
-	prevs := make([]prev, len(live))
-	for i, a := range live {
-		prevs[i] = prev{a.site, a.device}
-		srv := a.serverIn(servers, cfg)
-		srv.used = srv.used.Sub(a.demand(cfg))
-		if srv.used.Dominant(srv.cap) <= 0 && !cfg.ServersAlwaysOn {
-			srv.on = false
-		}
-	}
-
-	apps := make([]placement.App, len(live))
-	for i, a := range live {
-		apps[i] = placement.App{
-			ID:         fmt.Sprintf("redeploy-%d", i),
-			Model:      a.model,
-			Source:     sites[a.srcSite].City,
-			SLOms:      cfg.RTTLimitMs,
-			RatePerSec: cfg.RatePerSec,
-		}
-	}
-	pservers, err := serverViews(now)
-	if err != nil {
-		return err
-	}
-	prob, err := placement.Build(apps, pservers, rttOracle, nil)
-	if err != nil {
-		return err
-	}
-	t0 := time.Now()
-	asg, err := solver.Solve(prob, cfg.Policy)
-	if err != nil {
-		return err
-	}
-	res.SolveTime += time.Since(t0)
-	res.Batches++
-
-	restore := func(i int) {
-		a := live[i]
-		a.site, a.device = prevs[i].site, prevs[i].device
-		srv := a.serverIn(servers, cfg)
-		srv.used = srv.used.Add(a.demand(cfg))
-		srv.on = true
-	}
-	for i, j := range asg.ServerOf {
-		if j < 0 {
-			restore(i)
-			continue
-		}
-		srv := servers[j]
-		a := live[i]
-		moved := srv.site != prevs[i].site || srv.device.Name != prevs[i].device
-		a.site, a.device = srv.site, srv.device.Name
-		a.powerW = prob.PowerW[i][j]
-		a.rttMs = prob.LatencyMs[i][j]
-		srv.used = srv.used.Add(prob.Demand[i][j])
-		srv.on = true
-		if moved {
-			res.Migrations++
-			joules := cfg.MigrationDataMB * cfg.MigrationJPerMB
-			if joules > 0 {
-				ci, err := svc.Current(sites[srv.site].ZoneID, now)
-				if err != nil {
-					return err
-				}
-				kwh := joules / 3.6e6
-				res.MigrationKWh += kwh
-				res.MigrationCarbonG += kwh * ci
-				res.EnergyKWh += kwh
-				res.CarbonG += kwh * ci
-				res.MonthlyCarbonG[int(now.Month())-1] += kwh * ci
-			}
-		}
-	}
-	return nil
 }

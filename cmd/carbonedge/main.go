@@ -1,11 +1,13 @@
 // Command carbonedge runs the CarbonEdge orchestrator as an HTTP service
 // over an emulated mesoscale regional testbed (Florida or Central Europe).
 // The emulated clock advances in the background so carbon intensity
-// evolves while the service runs.
+// evolves while the service runs, and an optional open-loop request
+// workload (diurnal, steady, or flash-crowd) is routed across the
+// deployments every tick.
 //
 // Usage:
 //
-//	carbonedge -region florida -addr :8080 -policy carbon
+//	carbonedge -region florida -addr :8080 -policy carbon -traffic diurnal -rps 40
 //
 // Then:
 //
@@ -13,21 +15,30 @@
 //	  '{"name":"demo","model":"ResNet50","source":"Miami","slo_ms":20,"rate_per_sec":10}'
 //	curl -X POST localhost:8080/api/v1/place
 //	curl localhost:8080/api/v1/metrics
+//	curl localhost:8080/api/v1/traffic
+//
+// The service shuts down cleanly on SIGINT/SIGTERM: in-flight requests
+// drain and the clock goroutine stops.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/carbon"
 	"repro/internal/latency"
 	"repro/internal/placement"
 	"repro/internal/testbed"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -37,22 +48,29 @@ func main() {
 		policy   = flag.String("policy", "carbon", "placement policy: carbon | latency | energy | intensity")
 		seed     = flag.Int64("seed", 42, "dataset seed")
 		timeWarp = flag.Duration("tick", 10*time.Second, "wall-clock interval per emulated hour")
+		scenario = flag.String("traffic", "", "open-loop workload scenario: steady | diurnal | flash-crowd (empty = no traffic)")
+		rps      = flag.Float64("rps", 40, "aggregate request rate of the attached workload")
+		sloMs    = flag.Float64("slo-ms", 40, "end-to-end response-time SLO for routed requests")
 	)
 	flag.Parse()
+	if err := run(*addr, *region, *policy, *scenario, *seed, *timeWarp, *rps, *sloMs); err != nil {
+		log.Fatalf("carbonedge: %v", err)
+	}
+}
 
+func run(addr, region, policy, scenario string, seed int64, timeWarp time.Duration, rps, sloMs float64) error {
 	var reg testbed.Region
-	switch strings.ToLower(*region) {
+	switch strings.ToLower(region) {
 	case "florida":
 		reg = testbed.Florida()
 	case "centraleu", "central-eu", "eu":
 		reg = testbed.CentralEU()
 	default:
-		fmt.Fprintf(os.Stderr, "carbonedge: unknown region %q\n", *region)
-		os.Exit(2)
+		return fmt.Errorf("unknown region %q", region)
 	}
 
 	var pol placement.Policy
-	switch strings.ToLower(*policy) {
+	switch strings.ToLower(policy) {
 	case "carbon":
 		pol = placement.CarbonAware{}
 	case "latency":
@@ -62,33 +80,56 @@ func main() {
 	case "intensity":
 		pol = placement.IntensityAware{}
 	default:
-		fmt.Fprintf(os.Stderr, "carbonedge: unknown policy %q\n", *policy)
-		os.Exit(2)
+		return fmt.Errorf("unknown policy %q", policy)
 	}
 
-	zones, err := carbon.DefaultRegistry(*seed)
+	zones, err := carbon.DefaultRegistry(seed)
 	if err != nil {
-		log.Fatalf("carbonedge: %v", err)
+		return err
 	}
 	cities, err := latency.DefaultCityRegistry()
 	if err != nil {
-		log.Fatalf("carbonedge: %v", err)
+		return err
 	}
-	traces := carbon.NewGenerator(*seed).GenerateTraces(zones)
+	traces := carbon.NewGenerator(seed).GenerateTraces(zones)
 
 	tb, err := testbed.New(testbed.Config{
 		Region: reg, Zones: zones, Traces: traces, Cities: cities, Policy: pol,
 	})
 	if err != nil {
-		log.Fatalf("carbonedge: %v", err)
+		return err
 	}
 
+	if scenario != "" {
+		scn, err := traffic.ScenarioByName(scenario)
+		if err != nil {
+			return err
+		}
+		if err := tb.AttachTraffic(traffic.Config{Seed: seed, Scenario: scn, RPS: rps}, sloMs); err != nil {
+			return err
+		}
+		tb.Orch.SetOverloadHandler(func(now time.Time, dropped int64) {
+			log.Printf("carbonedge: overload at %s: %d requests dropped", now, dropped)
+		})
+		log.Printf("carbonedge: %s traffic attached (%.0f rps aggregate, %.0f ms SLO)", scn, rps, sloMs)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// Advance the emulated clock: one emulated hour per tick interval,
-	// bounded to stay within the trace year.
+	// bounded to stay within the trace year, until shutdown.
+	clockDone := make(chan struct{})
 	go func() {
-		ticker := time.NewTicker(*timeWarp)
+		defer close(clockDone)
+		ticker := time.NewTicker(timeWarp)
 		defer ticker.Stop()
-		for range ticker.C {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
 			if tb.Orch.Now().After(traces.Start.Add(time.Duration(traces.Hours-2) * time.Hour)) {
 				log.Printf("carbonedge: trace year exhausted; clock frozen")
 				return
@@ -99,7 +140,28 @@ func main() {
 		}
 	}()
 
+	srv := &http.Server{Addr: addr, Handler: tb.Orch.API()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
 	log.Printf("carbonedge: %s testbed (%d DCs), policy %s, listening on %s",
-		reg.Name, len(reg.DCs), pol.Name(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, tb.Orch.API()))
+		reg.Name, len(reg.DCs), pol.Name(), addr)
+
+	select {
+	case err := <-serveErr:
+		stop()
+		<-clockDone
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("carbonedge: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err = srv.Shutdown(shutdownCtx)
+	<-clockDone
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown timed out: %w", err)
+	}
+	return err
 }

@@ -404,12 +404,81 @@ func TestAblationActivation(t *testing.T) {
 	}
 }
 
+func TestTrafficScenarios(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("rows = %d, want 2 regions x 3 scenarios x 2 policies", len(r.Rows))
+	}
+	cell := func(region, scn, pol string) TrafficRow {
+		for _, row := range r.Rows {
+			if row.Region == region && row.Scenario == scn && row.Policy == pol {
+				return row
+			}
+		}
+		t.Fatalf("missing cell %s/%s/%s", region, scn, pol)
+		return TrafficRow{}
+	}
+	for _, row := range r.Rows {
+		if row.Requests == 0 {
+			t.Errorf("%s/%s/%s: no traffic generated", row.Region, row.Scenario, row.Policy)
+		}
+		if row.SLOPct < 0 || row.SLOPct > 100 {
+			t.Errorf("%s/%s/%s: SLO attainment %.1f%% out of range", row.Region, row.Scenario, row.Policy, row.SLOPct)
+		}
+		if row.P99Ms < row.P50Ms {
+			t.Errorf("%s/%s/%s: p99 %.1f below p50 %.1f", row.Region, row.Scenario, row.Policy, row.P99Ms, row.P50Ms)
+		}
+		if row.CarbonPerMReqG <= 0 {
+			t.Errorf("%s/%s/%s: no per-request carbon", row.Region, row.Scenario, row.Policy)
+		}
+	}
+	// Flash crowds must stress the system harder than the same region and
+	// policy under steady load.
+	for _, region := range []string{"US", "Europe"} {
+		steady := cell(region, "steady", "CarbonEdge")
+		flash := cell(region, "flash-crowd", "CarbonEdge")
+		if flash.SpillPct+flash.DropPct <= steady.SpillPct+steady.DropPct {
+			t.Errorf("%s: flash crowd (%.2f%% degraded) not harder than steady (%.2f%%)",
+				region, flash.SpillPct+flash.DropPct, steady.SpillPct+steady.DropPct)
+		}
+	}
+	if !strings.Contains(r.String(), "Traffic scenarios") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTrafficDeterministicAcrossParallelism(t *testing.T) {
+	// The traffic family must render bit-identically whether the grid
+	// runs serially or on a worker pool (run under -race in CI). A week
+	// of simulated traffic is plenty to exercise every scenario shape.
+	s := testSuite(t)
+	defer func(hours int) { s.Parallel, s.CDNHours = 0, hours }(s.CDNHours)
+	s.CDNHours = 24 * 7
+	s.Parallel = 1
+	serial, err := s.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallel = 4
+	parallel, err := s.Traffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("serial and parallel traffic sweeps diverged:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"table1", "overhead", "ablation-solver", "ablation-forecast",
-		"ablation-batch", "ablation-activation"}
+		"ablation-batch", "ablation-activation", "traffic"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true

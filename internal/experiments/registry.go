@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"ablation-batch":      func(s *Suite) (fmt.Stringer, error) { return s.AblationBatch() },
 	"ablation-activation": func(s *Suite) (fmt.Stringer, error) { return s.AblationActivation() },
 	"ext-redeploy":        func(s *Suite) (fmt.Stringer, error) { return s.ExtRedeploy() },
+	"traffic":             func(s *Suite) (fmt.Stringer, error) { return s.Traffic() },
 }
 
 // IDs returns all registered experiment IDs, sorted.

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/carbon"
+	"repro/internal/placement"
+	"repro/internal/router"
+	"repro/internal/traffic"
+)
+
+// trafficScenarios are the workload shapes the traffic family sweeps.
+var trafficScenarios = []traffic.Scenario{traffic.Steady, traffic.Diurnal, traffic.FlashCrowd}
+
+// TrafficRPS is the aggregate open-loop request rate per region — about
+// half the deployment's steady-state provisioned capacity (6 arrivals/h x
+// 24 h lifetime x 10 rps), so steady load is comfortable while
+// flash-crowd bursts saturate the burst metro and exercise spill-over.
+const TrafficRPS = 700
+
+// TrafficRow is one (region x scenario x policy) cell.
+type TrafficRow struct {
+	Region   string
+	Scenario string
+	Policy   string
+	// Requests offered, and the service-quality split.
+	Requests int64
+	SLOPct   float64
+	SpillPct float64
+	DropPct  float64
+	// Latency quantiles over served requests (ms end-to-end).
+	P50Ms, P99Ms float64
+	// CarbonPerMReqG is grams CO2eq attributed per million served
+	// requests (the request-level analogue of the paper's totals).
+	CarbonPerMReqG float64
+	// OverloadEpochs counts hours with dropped requests.
+	OverloadEpochs int64
+}
+
+// TrafficResult is the traffic-scenario experiment family: request-level
+// service quality and carbon attribution per region, workload shape, and
+// placement policy.
+type TrafficResult struct {
+	Rows []TrafficRow
+}
+
+// Traffic sweeps the (region x scenario x policy) grid of traffic-driven
+// simulations — the scenario axis the epoch-mode simulator cannot
+// express: open-loop diurnal/weekly demand and flash crowds hitting the
+// placed replicas, with SLO attainment and per-request carbon recorded in
+// bounded memory.
+func (s *Suite) Traffic() (*TrafficResult, error) {
+	g := s.newGrid()
+	key := func(region carbon.Region, scn traffic.Scenario, side string) string {
+		return fmt.Sprintf("%s/%s/%s", scn, region, side)
+	}
+	for _, region := range cdnRegions {
+		for _, scn := range trafficScenarios {
+			for _, pol := range []placement.Policy{placement.CarbonAware{}, placement.LatencyAware{}} {
+				cfg := s.cdnConfig(region, pol)
+				cfg.Traffic = &traffic.Config{Scenario: scn, RPS: TrafficRPS}
+				g.Add(key(region, scn, pol.Name()), cfg)
+			}
+		}
+	}
+	runs, err := g.RunMap()
+	if err != nil {
+		return nil, err
+	}
+	res := &TrafficResult{}
+	for _, region := range cdnRegions {
+		for _, scn := range trafficScenarios {
+			for _, side := range []string{"CarbonEdge", "Latency-aware"} {
+				st := runs[key(region, scn, side)].Traffic
+				if st == nil {
+					return nil, fmt.Errorf("experiments: %s ran without traffic telemetry", key(region, scn, side))
+				}
+				res.Rows = append(res.Rows, trafficRow(region.String(), scn.String(), side, st))
+			}
+		}
+	}
+	return res, nil
+}
+
+// trafficRow summarizes one run's request telemetry.
+func trafficRow(region, scenario, policy string, st *router.Stats) TrafficRow {
+	row := TrafficRow{
+		Region:         region,
+		Scenario:       scenario,
+		Policy:         policy,
+		Requests:       st.Requests,
+		OverloadEpochs: st.OverloadSlices,
+	}
+	if st.Requests > 0 {
+		row.SLOPct = float64(st.SLOMet) / float64(st.Requests) * 100
+		row.SpillPct = float64(st.Spilled) / float64(st.Requests) * 100
+		row.DropPct = float64(st.Dropped) / float64(st.Requests) * 100
+	}
+	if st.Latency.Count() > 0 {
+		row.P50Ms = st.Latency.Quantile(0.5)
+		row.P99Ms = st.Latency.Quantile(0.99)
+	}
+	if served := st.Requests - st.Dropped; served > 0 {
+		row.CarbonPerMReqG = st.CarbonG / float64(served) * 1e6
+	}
+	return row
+}
+
+// String renders the scenario table.
+func (r *TrafficResult) String() string {
+	rows := [][]string{{"region", "scenario", "policy", "SLO %", "spill %", "drop %", "p50 ms", "p99 ms", "gCO2/Mreq", "overload h"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Region, row.Scenario, row.Policy,
+			f1(row.SLOPct), f1(row.SpillPct), f1(row.DropPct),
+			f1(row.P50Ms), f1(row.P99Ms), f1(row.CarbonPerMReqG),
+			fmt.Sprint(row.OverloadEpochs)})
+	}
+	return table("Traffic scenarios: request-level SLO, latency, and carbon per policy", rows)
+}

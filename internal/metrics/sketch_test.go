@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile computes the true quantile by sorting (the reference the
+// sketch is checked against).
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// relErr is the acceptance band for the default sketch resolution: the
+// bucket width is gamma-1 = 2%, so a reported quantile sits within ~2% of
+// some value straddling the true rank.
+const relErr = 0.03
+
+func checkQuantiles(t *testing.T, name string, values []float64) {
+	t.Helper()
+	s := NewQuantileSketch()
+	for _, v := range values {
+		s.Add(v)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		want := exactQuantile(sorted, q)
+		got := s.Quantile(q)
+		if want == 0 {
+			continue
+		}
+		if math.Abs(got-want)/want > relErr {
+			t.Errorf("%s q=%.2f: sketch %.4f vs exact %.4f (rel err %.3f)",
+				name, q, got, want, math.Abs(got-want)/want)
+		}
+	}
+	if s.Count() != int64(len(values)) {
+		t.Errorf("%s: count %d, want %d", name, s.Count(), len(values))
+	}
+	if got := s.Min(); got != sorted[0] {
+		t.Errorf("%s: min %.4f, want exact %.4f", name, got, sorted[0])
+	}
+	if got := s.Max(); got != sorted[len(sorted)-1] {
+		t.Errorf("%s: max %.4f, want exact %.4f", name, got, sorted[len(sorted)-1])
+	}
+}
+
+func TestSketchAccuracyKnownDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200000
+	uniform := make([]float64, n)
+	exponential := make([]float64, n)
+	lognormal := make([]float64, n)
+	for i := 0; i < n; i++ {
+		uniform[i] = 1 + 99*rng.Float64()
+		exponential[i] = rng.ExpFloat64() * 12 // mean-12ms latencies
+		lognormal[i] = math.Exp(rng.NormFloat64()*0.8 + 2)
+	}
+	checkQuantiles(t, "uniform(1,100)", uniform)
+	checkQuantiles(t, "exp(12)", exponential)
+	checkQuantiles(t, "lognormal", lognormal)
+}
+
+func TestSketchWeightedAddMatchesRepeatedAdd(t *testing.T) {
+	a, b := NewQuantileSketch(), NewQuantileSketch()
+	values := []float64{0.5, 3, 3, 3, 17, 17, 250}
+	for _, v := range values {
+		a.Add(v)
+	}
+	b.AddN(0.5, 1)
+	b.AddN(3, 3)
+	b.AddN(17, 2)
+	b.AddN(250, 1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%.2f: Add %.4f != AddN %.4f", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	if a.Count() != b.Count() || a.Sum() != b.Sum() {
+		t.Errorf("count/sum diverged: (%d, %.2f) vs (%d, %.2f)", a.Count(), a.Sum(), b.Count(), b.Sum())
+	}
+}
+
+func TestSketchOrderIndependence(t *testing.T) {
+	// The sketch must be a pure function of the inserted multiset.
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = rng.ExpFloat64() * 20
+	}
+	forward, backward := NewQuantileSketch(), NewQuantileSketch()
+	for _, v := range values {
+		forward.Add(v)
+	}
+	for i := len(values) - 1; i >= 0; i-- {
+		backward.Add(values[i])
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if forward.Quantile(q) != backward.Quantile(q) {
+			t.Errorf("q=%.2f: order-dependent result %.6f vs %.6f", q, forward.Quantile(q), backward.Quantile(q))
+		}
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	whole, left, right := NewQuantileSketch(), NewQuantileSketch(), NewQuantileSketch()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		v := rng.ExpFloat64() * 8
+		whole.Add(v)
+		if i%2 == 0 {
+			left.Add(v)
+		} else {
+			right.Add(v)
+		}
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	if left.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", left.Count(), whole.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95, 0.99} {
+		if left.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%.2f: merged %.6f != whole %.6f", q, left.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Errorf("merged extremes [%.4f, %.4f] != whole [%.4f, %.4f]",
+			left.Min(), left.Max(), whole.Min(), whole.Max())
+	}
+	if err := left.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+func TestSketchEmptyAndEdgeValues(t *testing.T) {
+	s := NewQuantileSketch()
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) {
+		t.Error("empty sketch should report NaN")
+	}
+	s.Add(-5)         // clamped to 0
+	s.Add(0)          // below lowest bucket boundary
+	s.Add(math.NaN()) // clamped to 0
+	s.Add(1e12)       // beyond the top bucket: clamped, max stays exact
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Min() != 0 {
+		t.Errorf("min = %v, want 0", s.Min())
+	}
+	if s.Max() != 1e12 {
+		t.Errorf("max = %v, want 1e12", s.Max())
+	}
+	if q := s.Quantile(1); q != 1e12 {
+		t.Errorf("q=1 -> %v, want clamped to exact max", q)
+	}
+	s.AddN(3, 0)
+	s.AddN(3, -2)
+	if s.Count() != 4 {
+		t.Error("non-positive weights must be no-ops")
+	}
+}
+
+func TestSketchConcurrentAdds(t *testing.T) {
+	// Concurrent adders must race-cleanly produce the same multiset as a
+	// serial insert (run under -race in CI).
+	s := NewQuantileSketch()
+	const workers, perWorker = 8, 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				s.Add(rng.ExpFloat64() * 10)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	serial := NewQuantileSketch()
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < perWorker; i++ {
+			serial.Add(rng.ExpFloat64() * 10)
+		}
+	}
+	if s.Count() != int64(workers*perWorker) {
+		t.Fatalf("lost adds: %d", s.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if s.Quantile(q) != serial.Quantile(q) {
+			t.Errorf("q=%.2f: concurrent %.6f != serial %.6f", q, s.Quantile(q), serial.Quantile(q))
+		}
+	}
+}

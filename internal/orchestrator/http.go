@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+
+	"repro/internal/router"
 )
 
 // API exposes the orchestrator over HTTP, mirroring the Sinfonia-style
@@ -15,12 +17,14 @@ import (
 //	GET    /api/v1/deployments/{name} one deployment
 //	DELETE /api/v1/deployments/{name} undeploy
 //	GET    /api/v1/metrics            carbon/energy counters
+//	GET    /api/v1/traffic            live per-deployment SLO/latency stats
 func (o *Orchestrator) API() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/deployments", o.handleDeployments)
 	mux.HandleFunc("/api/v1/deployments/", o.handleDeployment)
 	mux.HandleFunc("/api/v1/place", o.handlePlace)
 	mux.HandleFunc("/api/v1/metrics", o.handleMetrics)
+	mux.HandleFunc("/api/v1/traffic", o.handleTraffic)
 	return mux
 }
 
@@ -123,5 +127,39 @@ func (o *Orchestrator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		body.MeanDeployMs = o.DeployLatency.Mean()
 	}
 	body.OrchestratorNow = o.Now().String()
+	writeJSON(w, http.StatusOK, body)
+}
+
+// trafficBody is the /traffic payload: cluster-wide request-level totals
+// plus per-deployment SLO attainment, latency quantiles, and carbon
+// attribution.
+type trafficBody struct {
+	Now           string                   `json:"now"`
+	OverloadTicks int64                    `json:"overload_ticks"`
+	LastOverload  string                   `json:"last_overload,omitempty"`
+	Totals        router.Snapshot          `json:"totals"`
+	Deployments   []router.ReplicaSnapshot `json:"deployments"`
+}
+
+func (o *Orchestrator) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	snap, overloads, last, ok := o.TrafficTelemetry()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"no traffic attached"})
+		return
+	}
+	body := trafficBody{
+		Now:           o.Now().String(),
+		OverloadTicks: overloads,
+		Totals:        snap,
+		Deployments:   snap.Replicas,
+	}
+	body.Totals.Replicas = nil // per-deployment rows live at the top level
+	if !last.IsZero() {
+		body.LastOverload = last.String()
+	}
 	writeJSON(w, http.StatusOK, body)
 }

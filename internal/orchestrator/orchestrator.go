@@ -2,6 +2,7 @@ package orchestrator
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -12,6 +13,8 @@ import (
 	"repro/internal/latency"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/router"
+	"repro/internal/traffic"
 )
 
 // Orchestrator is the CarbonEdge control plane (Figure 6): it owns the
@@ -40,8 +43,21 @@ type Orchestrator struct {
 	carbonTotal float64 // grams CO2eq accumulated
 	energyMeter energy.Meter
 
+	// Request-level traffic (AttachTraffic): open-loop demand routed over
+	// the deployments every tick.
+	traffic       *trafficState
+	overloadTicks int64
+	lastOverload  time.Time
+	onOverload    func(now time.Time, dropped int64)
+
 	// DeployLatency measures time from batch start to commit.
 	DeployLatency metrics.Summary
+}
+
+// trafficState bundles the attached workload generator and its router.
+type trafficState struct {
+	gen    *traffic.Generator
+	router *router.Router
 }
 
 // Config assembles an orchestrator.
@@ -77,6 +93,13 @@ func New(cfg Config) (*Orchestrator, error) {
 		deployments: make(map[string]*Deployment),
 		carbonByApp: metrics.NewGrouped(),
 	}, nil
+}
+
+// rttMs is the round-trip latency in milliseconds between two cities as
+// the emulated network shapes it — the single latency oracle placement
+// and traffic routing share.
+func (o *Orchestrator) rttMs(src, dst string) float64 {
+	return 2 * float64(o.shaper.OneWay(src, dst)) / float64(time.Millisecond)
 }
 
 // Now returns the orchestrator clock.
@@ -144,9 +167,7 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 			SLOms: rec.SLOms, RatePerSec: rec.RatePerSec,
 		}
 	}
-	prob, err := placement.Build(apps, servers, func(source, dc string) float64 {
-		return 2 * float64(o.shaper.OneWay(source, dc)) / float64(time.Millisecond)
-	}, nil)
+	prob, err := placement.Build(apps, servers, o.rttMs, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -240,10 +261,54 @@ func (o *Orchestrator) Deployments() []*Deployment {
 // powered-on server's power draw is integrated into its meter, and carbon
 // is accrued at the server zone's current intensity (§5.1 "Carbon
 // Monitoring": base power plus application energy).
+//
+// With traffic attached (AttachTraffic), the tick first routes the
+// window's open-loop request slice across the deployments, and each app's
+// dynamic power is driven by the requests it actually served instead of
+// its static provisioned draw. A tick whose demand could not be fully
+// absorbed emits an overload signal (see SetOverloadHandler).
 func (o *Orchestrator) Tick(dt time.Duration) error {
+	var fire func()
+	err := o.tick(dt, &fire)
+	if fire != nil {
+		// The overload handler runs outside the lock so it may call back
+		// into the orchestrator.
+		fire()
+	}
+	return err
+}
+
+func (o *Orchestrator) tick(dt time.Duration, fire *func()) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	hours := dt.Hours()
+
+	// appW resolves each app's dynamic draw this tick: load-driven when
+	// traffic is attached, the static provisioned draw otherwise.
+	var appW map[string]float64
+	if o.traffic != nil {
+		var dropped int64
+		var err error
+		appW, dropped, err = o.routeTraffic(dt)
+		if err != nil {
+			return err
+		}
+		if dropped > 0 {
+			o.overloadTicks++
+			o.lastOverload = o.now
+			if cb := o.onOverload; cb != nil {
+				now := o.now
+				*fire = func() { cb(now, dropped) }
+			}
+		}
+	}
+	watts := func(dep *Deployment) float64 {
+		if appW == nil {
+			return dep.PowerW
+		}
+		return appW[dep.Recipe.Name]
+	}
+
 	for _, dc := range o.cluster.DataCenters() {
 		ci, err := o.carbon.Current(dc.ZoneID, o.now)
 		if err != nil {
@@ -253,26 +318,147 @@ func (o *Orchestrator) Tick(dt time.Duration) error {
 			if srv.State() != cluster.PoweredOn {
 				continue
 			}
-			watts := srv.Device.IdleW
+			w := srv.Device.IdleW
 			// Dynamic power: sum of hosted apps' draws.
 			for _, appID := range srv.Apps() {
 				if dep := o.deployments[appID]; dep != nil {
-					watts += dep.PowerW
+					w += watts(dep)
 				}
 			}
-			srv.Meter().Record(watts, dt)
-			o.energyMeter.Record(watts, dt)
-			grams := watts / 1000 * hours * ci
+			srv.Meter().Record(w, dt)
+			o.energyMeter.Record(w, dt)
+			grams := w / 1000 * hours * ci
 			o.carbonTotal += grams
 			for _, appID := range srv.Apps() {
 				if dep := o.deployments[appID]; dep != nil {
-					o.carbonByApp.Add(appID, dep.PowerW/1000*hours*ci)
+					o.carbonByApp.Add(appID, watts(dep)/1000*hours*ci)
 				}
 			}
 		}
 	}
 	o.now = o.now.Add(dt)
 	return nil
+}
+
+// AttachTraffic wires an open-loop workload generator into the tick loop:
+// every Tick routes the window's aggregated request slice across the
+// current deployments (each deployment is one replica, keyed by name),
+// balancing by free capacity with spill-over on saturation, against the
+// given end-to-end response-time SLO.
+func (o *Orchestrator) AttachTraffic(gen *traffic.Generator, sloMs float64) error {
+	if gen == nil {
+		return fmt.Errorf("orchestrator: nil traffic generator")
+	}
+	r, err := router.New(router.Config{
+		SLOms:      sloMs,
+		RTT:        o.rttMs,
+		PerReplica: true,
+	})
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.traffic != nil {
+		return fmt.Errorf("orchestrator: traffic already attached")
+	}
+	o.traffic = &trafficState{gen: gen, router: r}
+	return nil
+}
+
+// SetOverloadHandler registers fn, called after any Tick that dropped
+// routed requests for lack of serving capacity. fn runs outside the
+// orchestrator lock.
+func (o *Orchestrator) SetOverloadHandler(fn func(now time.Time, dropped int64)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.onOverload = fn
+}
+
+// routeTraffic (locked) routes one tick's demand window and returns each
+// deployment's load-driven dynamic power plus the dropped-request count.
+func (o *Orchestrator) routeTraffic(dt time.Duration) (map[string]float64, int64, error) {
+	gen, rt := o.traffic.gen, o.traffic.router
+
+	names := make([]string, 0, len(o.deployments))
+	for name := range o.deployments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	appW := make(map[string]float64, len(names))
+	replicas := make([]router.Replica, 0, len(names))
+	ciCache := map[string]float64{}
+	for _, name := range names {
+		dep := o.deployments[name]
+		srv, dc, err := o.cluster.FindServer(dep.ServerID)
+		if err != nil {
+			return nil, 0, err
+		}
+		prof, err := energy.ProfileFor(dep.Recipe.Model, srv.Device.Name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, ok := ciCache[dc.ZoneID]; !ok {
+			ci, err := o.carbon.Current(dc.ZoneID, o.now)
+			if err != nil {
+				return nil, 0, err
+			}
+			ciCache[dc.ZoneID] = ci
+		}
+		replicas = append(replicas, router.Replica{
+			ID:            name,
+			City:          dc.City,
+			ZoneID:        dc.ZoneID,
+			CapacityRPS:   dep.Recipe.RatePerSec,
+			ServiceMs:     prof.InferenceMs,
+			EnergyPerReqJ: prof.EnergyPerRequestJ(),
+		})
+		appW[name] = 0
+	}
+
+	elapsed := o.now.Sub(gen.Start())
+	if elapsed < 0 {
+		return appW, 0, nil
+	}
+	intensity := func(zone string) float64 { return ciCache[zone] }
+	sl := rt.NewSlice(replicas, dt.Seconds())
+	// Route every hourly slice the tick window overlaps. Each slice's
+	// count is split by the telescoping difference of rounded cumulative
+	// fractions, so consecutive ticks of any length partition the hour's
+	// requests exactly — no demand is double-counted or skipped.
+	startH := elapsed.Hours()
+	endH := startH + dt.Hours()
+	for h := int(startH); float64(h) < endH; h++ {
+		lo := math.Max(startH, float64(h)) - float64(h)
+		hi := math.Min(endH, float64(h+1)) - float64(h)
+		if hi <= lo {
+			continue
+		}
+		counts := gen.Slice(h)
+		for i, src := range gen.Sources() {
+			c := float64(counts[i])
+			n := int64(c*hi+0.5) - int64(c*lo+0.5)
+			if n > 0 {
+				sl.Route(src.City, n, intensity)
+			}
+		}
+	}
+	sl.Close()
+	for i, n := range sl.Served() {
+		appW[replicas[i].ID] = float64(n) * replicas[i].EnergyPerReqJ / dt.Seconds()
+	}
+	return appW, sl.Dropped(), nil
+}
+
+// TrafficTelemetry snapshots the attached traffic's request-level stats.
+// ok is false when no traffic is attached.
+func (o *Orchestrator) TrafficTelemetry() (snap router.Snapshot, overloadTicks int64, lastOverload time.Time, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.traffic == nil {
+		return router.Snapshot{}, 0, time.Time{}, false
+	}
+	return o.traffic.router.Stats().Snapshot(), o.overloadTicks, o.lastOverload, true
 }
 
 // CurrentIntensity returns a zone's carbon intensity at the orchestrator's

@@ -1,0 +1,395 @@
+// Package router load-balances aggregated request traffic across a
+// deployment's placed replicas and records request-level service quality:
+// SLO attainment, end-to-end latency quantiles (in bounded memory via
+// metrics.QuantileSketch), and per-request energy/carbon attribution.
+//
+// Requests arrive as per-source aggregated counts (one traffic.Generator
+// slice), not as individual request objects, so a single core sustains
+// millions of routed requests per second. Within one slice, each source's
+// demand is spread across the SLO-feasible replicas proportionally to
+// their remaining capacity; demand that exceeds the feasible replicas'
+// capacity spills over to SLO-violating replicas, and demand no replica
+// can absorb is dropped (an overload signal).
+//
+// Routing is fully deterministic: it uses no randomness and visits
+// replicas in their given order, so serial and parallel sweep runs stay
+// bit-identical.
+package router
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Replica is one serving instance of a deployment.
+type Replica struct {
+	// ID labels the replica in telemetry. Callers choose the cardinality:
+	// the simulator keys by hosting city, the orchestrator by deployment
+	// name, keeping per-replica aggregates bounded.
+	ID string
+	// City is the hosting city (the latency-lookup endpoint).
+	City string
+	// ZoneID is the hosting carbon zone, used for attribution.
+	ZoneID string
+	// CapacityRPS is the replica's sustainable request rate.
+	CapacityRPS float64
+	// ServiceMs is the per-request service time.
+	ServiceMs float64
+	// EnergyPerReqJ is the marginal energy per served request in joules.
+	EnergyPerReqJ float64
+}
+
+// Config assembles a router.
+type Config struct {
+	// SLOms is the end-to-end response-time objective (network round trip
+	// plus service time).
+	SLOms float64
+	// RTT returns the round-trip network latency in milliseconds between
+	// a source city and a hosting city.
+	RTT func(src, dst string) float64
+	// PerReplica enables per-replica latency sketches and carbon
+	// aggregates (the orchestrator's live stats); when false only the
+	// request counter per replica ID is kept.
+	PerReplica bool
+}
+
+// ReplicaStats aggregates one replica ID's request-level telemetry.
+type ReplicaStats struct {
+	Requests  int64
+	SLOMet    int64
+	Spilled   int64
+	Latency   *metrics.QuantileSketch
+	EnergyKWh float64
+	CarbonG   float64
+}
+
+// Stats is the router's bounded-memory telemetry accumulator. All request
+// counters are attempt-complete: Requests = SLOMet + missed + Dropped,
+// where missed requests were served past the SLO (including spill-over).
+type Stats struct {
+	// Requests counts every request offered to the router.
+	Requests int64
+	// SLOMet counts requests served within the SLO.
+	SLOMet int64
+	// Spilled counts requests served by an SLO-violating replica because
+	// the feasible replicas were saturated.
+	Spilled int64
+	// Dropped counts requests no replica had capacity for.
+	Dropped int64
+	// OverloadSlices counts routing slices that dropped at least one
+	// request — the router's overload signal.
+	OverloadSlices int64
+	// Latency sketches end-to-end response time (ms) over all served
+	// requests.
+	Latency *metrics.QuantileSketch
+	// EnergyKWh and CarbonG accumulate served requests' marginal energy
+	// and emissions (per-request attribution at the hosting zone's
+	// current carbon intensity).
+	EnergyKWh float64
+	CarbonG   float64
+	// ByReplica counts served requests per replica ID.
+	ByReplica *metrics.Counter
+	// Replicas holds per-replica aggregates when Config.PerReplica is on.
+	Replicas map[string]*ReplicaStats
+}
+
+// SLOAttainment returns the fraction of offered requests served within
+// the SLO (NaN when no requests were offered).
+func (s *Stats) SLOAttainment() float64 {
+	if s.Requests == 0 {
+		return math.NaN()
+	}
+	return float64(s.SLOMet) / float64(s.Requests)
+}
+
+// DropRate returns the fraction of offered requests dropped.
+func (s *Stats) DropRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(s.Requests)
+}
+
+// Router accumulates stats over any number of routing slices.
+type Router struct {
+	cfg   Config
+	stats Stats
+}
+
+// New builds a router.
+func New(cfg Config) (*Router, error) {
+	if cfg.SLOms <= 0 {
+		return nil, fmt.Errorf("router: SLOms must be positive")
+	}
+	if cfg.RTT == nil {
+		return nil, fmt.Errorf("router: RTT oracle is required")
+	}
+	r := &Router{cfg: cfg}
+	r.stats.Latency = metrics.NewQuantileSketch()
+	r.stats.ByReplica = metrics.NewCounter()
+	if cfg.PerReplica {
+		r.stats.Replicas = map[string]*ReplicaStats{}
+	}
+	return r, nil
+}
+
+// Stats returns the router's live accumulator. The pointer stays owned by
+// the router; concurrent reads while routing require external
+// synchronization (the orchestrator holds its own lock).
+func (r *Router) Stats() *Stats { return &r.stats }
+
+// Slice is one routing window over a fixed replica set: replicas' free
+// capacity depletes as sources are routed, then the slice is closed.
+type Slice struct {
+	r        *Router
+	replicas []Replica
+	// free is each replica's remaining request budget this slice.
+	free []float64
+	// served counts requests assigned per replica this slice.
+	served  []int64
+	dropped int64
+	closed  bool
+}
+
+// NewSlice opens a routing window of the given duration over a replica
+// set. The replica order is the deterministic tie-break order.
+func (r *Router) NewSlice(replicas []Replica, seconds float64) *Slice {
+	s := &Slice{
+		r:        r,
+		replicas: replicas,
+		free:     make([]float64, len(replicas)),
+		served:   make([]int64, len(replicas)),
+	}
+	for i, rep := range replicas {
+		s.free[i] = rep.CapacityRPS * seconds
+	}
+	return s
+}
+
+// Route balances count requests originating at src across the slice's
+// replicas. intensity returns the hosting zone's current carbon intensity
+// (gCO2eq/kWh) for attribution.
+func (s *Slice) Route(src string, count int64, intensity func(zoneID string) float64) {
+	if count <= 0 || s.closed {
+		return
+	}
+	s.r.stats.Requests += count
+
+	// Partition replicas by SLO feasibility for this source, preserving
+	// replica order.
+	lat := make([]float64, len(s.replicas))
+	var feasible, infeasible []int
+	for i, rep := range s.replicas {
+		lat[i] = s.r.cfg.RTT(src, rep.City) + rep.ServiceMs
+		if lat[i] <= s.r.cfg.SLOms {
+			feasible = append(feasible, i)
+		} else {
+			infeasible = append(infeasible, i)
+		}
+	}
+
+	left := s.waterfill(count, feasible, src, lat, false, intensity)
+	if left > 0 {
+		left = s.waterfill(left, infeasible, src, lat, true, intensity)
+	}
+	if left > 0 {
+		s.r.stats.Dropped += left
+		s.dropped += left
+	}
+}
+
+// waterfill spreads count requests over the indexed replicas in
+// proportion to their remaining capacity, iterating as replicas saturate;
+// it returns the demand that found no capacity. spill marks the requests
+// as spill-over (served past the SLO).
+func (s *Slice) waterfill(count int64, idxs []int, src string, lat []float64, spill bool, intensity func(string) float64) int64 {
+	left := count
+	for left > 0 {
+		var totalFree float64
+		for _, i := range idxs {
+			if s.free[i] >= 1 {
+				totalFree += s.free[i]
+			}
+		}
+		if totalFree < 1 {
+			break
+		}
+		progressed := false
+		rem := left
+		for _, i := range idxs {
+			if rem == 0 {
+				break
+			}
+			if s.free[i] < 1 {
+				continue
+			}
+			n := int64(float64(left) * s.free[i] / totalFree)
+			if n == 0 {
+				n = 1 // guarantee progress on tiny proportional shares
+			}
+			if n > rem {
+				n = rem
+			}
+			if budget := int64(s.free[i]); n > budget {
+				n = budget
+			}
+			if n == 0 {
+				continue
+			}
+			s.assign(i, n, src, lat[i], spill, intensity)
+			s.free[i] -= float64(n)
+			rem -= n
+			progressed = true
+		}
+		left = rem
+		if !progressed {
+			break
+		}
+	}
+	return left
+}
+
+// assign commits n requests to replica i and records their telemetry.
+func (s *Slice) assign(i int, n int64, src string, latMs float64, spill bool, intensity func(string) float64) {
+	rep := s.replicas[i]
+	st := &s.r.stats
+	s.served[i] += n
+
+	met := latMs <= s.r.cfg.SLOms
+	if met {
+		st.SLOMet += n
+	}
+	if spill {
+		st.Spilled += n
+	}
+	st.Latency.AddN(latMs, n)
+	st.ByReplica.Inc(rep.ID, n)
+
+	kwh := float64(n) * rep.EnergyPerReqJ / 3.6e6
+	grams := kwh * intensity(rep.ZoneID)
+	st.EnergyKWh += kwh
+	st.CarbonG += grams
+
+	if st.Replicas != nil {
+		rs := st.Replicas[rep.ID]
+		if rs == nil {
+			rs = &ReplicaStats{Latency: metrics.NewQuantileSketch()}
+			st.Replicas[rep.ID] = rs
+		}
+		rs.Requests += n
+		if met {
+			rs.SLOMet += n
+		}
+		if spill {
+			rs.Spilled += n
+		}
+		rs.Latency.AddN(latMs, n)
+		rs.EnergyKWh += kwh
+		rs.CarbonG += grams
+	}
+}
+
+// Served returns the per-replica request counts assigned so far this
+// slice (indexed like the replica set; do not modify).
+func (s *Slice) Served() []int64 { return s.served }
+
+// Dropped returns the requests dropped so far this slice.
+func (s *Slice) Dropped() int64 { return s.dropped }
+
+// Close finalizes the slice: a slice that dropped requests marks one
+// overload interval. Closing twice is a no-op.
+func (s *Slice) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.dropped > 0 {
+		s.r.stats.OverloadSlices++
+	}
+}
+
+// ReplicaSnapshot is the JSON-friendly view of one replica's aggregates.
+type ReplicaSnapshot struct {
+	ID            string  `json:"id"`
+	Requests      int64   `json:"requests"`
+	SLOPct        float64 `json:"slo_attainment_pct"`
+	Spilled       int64   `json:"spilled"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	EnergyKWh     float64 `json:"energy_kwh"`
+	CarbonG       float64 `json:"carbon_g"`
+	CarbonPerMReq float64 `json:"carbon_g_per_mreq"`
+}
+
+// Snapshot is a point-in-time, JSON-friendly summary of the stats.
+type Snapshot struct {
+	Requests       int64             `json:"requests"`
+	SLOMet         int64             `json:"slo_met"`
+	SLOPct         float64           `json:"slo_attainment_pct"`
+	Spilled        int64             `json:"spilled"`
+	Dropped        int64             `json:"dropped"`
+	OverloadSlices int64             `json:"overload_slices"`
+	P50Ms          float64           `json:"p50_ms"`
+	P95Ms          float64           `json:"p95_ms"`
+	P99Ms          float64           `json:"p99_ms"`
+	EnergyKWh      float64           `json:"energy_kwh"`
+	CarbonG        float64           `json:"carbon_g"`
+	Replicas       []ReplicaSnapshot `json:"replicas,omitempty"`
+}
+
+// pct converts a NaN-able fraction to a JSON-safe percentage.
+func pct(f float64) float64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	return f * 100
+}
+
+// q reads a sketch quantile as a JSON-safe value.
+func q(sk *metrics.QuantileSketch, p float64) float64 {
+	v := sk.Quantile(p)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// Snapshot summarizes the stats, with per-replica rows sorted by ID.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{
+		Requests:       s.Requests,
+		SLOMet:         s.SLOMet,
+		SLOPct:         pct(s.SLOAttainment()),
+		Spilled:        s.Spilled,
+		Dropped:        s.Dropped,
+		OverloadSlices: s.OverloadSlices,
+		P50Ms:          q(s.Latency, 0.5),
+		P95Ms:          q(s.Latency, 0.95),
+		P99Ms:          q(s.Latency, 0.99),
+		EnergyKWh:      s.EnergyKWh,
+		CarbonG:        s.CarbonG,
+	}
+	for id, rs := range s.Replicas {
+		row := ReplicaSnapshot{
+			ID:        id,
+			Requests:  rs.Requests,
+			Spilled:   rs.Spilled,
+			P50Ms:     q(rs.Latency, 0.5),
+			P95Ms:     q(rs.Latency, 0.95),
+			P99Ms:     q(rs.Latency, 0.99),
+			EnergyKWh: rs.EnergyKWh,
+			CarbonG:   rs.CarbonG,
+		}
+		if rs.Requests > 0 {
+			row.SLOPct = float64(rs.SLOMet) / float64(rs.Requests) * 100
+			row.CarbonPerMReq = rs.CarbonG / float64(rs.Requests) * 1e6
+		}
+		snap.Replicas = append(snap.Replicas, row)
+	}
+	sort.Slice(snap.Replicas, func(i, j int) bool { return snap.Replicas[i].ID < snap.Replicas[j].ID })
+	return snap
+}

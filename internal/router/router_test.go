@@ -1,0 +1,203 @@
+package router
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testRTT is a small symmetric latency table.
+func testRTT(src, dst string) float64 {
+	if src == dst {
+		return 0
+	}
+	key := src + "/" + dst
+	if src > dst {
+		key = dst + "/" + src
+	}
+	return map[string]float64{
+		"Miami/Orlando": 6,
+		"Miami/Tampa":   8,
+		"Orlando/Tampa": 3,
+		"Far/Miami":     40,
+		"Far/Orlando":   42,
+		"Far/Tampa":     44,
+	}[key]
+}
+
+func testReplicas() []Replica {
+	return []Replica{
+		{ID: "mia", City: "Miami", ZoneID: "Z-MIA", CapacityRPS: 10, ServiceMs: 8, EnergyPerReqJ: 0.5},
+		{ID: "orl", City: "Orlando", ZoneID: "Z-ORL", CapacityRPS: 10, ServiceMs: 8, EnergyPerReqJ: 0.5},
+		{ID: "tpa", City: "Tampa", ZoneID: "Z-TPA", CapacityRPS: 10, ServiceMs: 8, EnergyPerReqJ: 0.5},
+	}
+}
+
+func flatCI(string) float64 { return 100 }
+
+func mustRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := New(Config{SLOms: 0, RTT: testRTT}); err == nil {
+		t.Error("zero SLO accepted")
+	}
+	if _, err := New(Config{SLOms: 20}); err == nil {
+		t.Error("nil RTT oracle accepted")
+	}
+}
+
+func TestRouteWithinCapacityMeetsSLO(t *testing.T) {
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT})
+	sl := r.NewSlice(testReplicas(), 100) // 1000-request budget per replica
+	sl.Route("Miami", 900, flatCI)
+	sl.Close()
+
+	st := r.Stats()
+	if st.Requests != 900 || st.SLOMet != 900 {
+		t.Errorf("requests=%d slo_met=%d, want 900/900", st.Requests, st.SLOMet)
+	}
+	if st.Spilled != 0 || st.Dropped != 0 || st.OverloadSlices != 0 {
+		t.Errorf("unexpected spill/drop: %+v", st)
+	}
+	if att := st.SLOAttainment(); att != 1 {
+		t.Errorf("attainment %.3f, want 1", att)
+	}
+	// All latencies are 0..8ms RTT + 8ms service <= 16ms.
+	if p99 := st.Latency.Quantile(0.99); p99 > 20 {
+		t.Errorf("p99 %.1f ms > SLO", p99)
+	}
+	// Per-request carbon: 900 * 0.5 J / 3.6e6 * 100 g/kWh.
+	wantG := 900 * 0.5 / 3.6e6 * 100
+	if math.Abs(st.CarbonG-wantG)/wantG > 1e-9 {
+		t.Errorf("carbon %.6f g, want %.6f", st.CarbonG, wantG)
+	}
+}
+
+func TestRouteProportionalToFreeCapacity(t *testing.T) {
+	reps := []Replica{
+		{ID: "big", City: "Miami", ZoneID: "Z", CapacityRPS: 75, ServiceMs: 5, EnergyPerReqJ: 1},
+		{ID: "small", City: "Orlando", ZoneID: "Z", CapacityRPS: 25, ServiceMs: 5, EnergyPerReqJ: 1},
+	}
+	r := mustRouter(t, Config{SLOms: 30, RTT: testRTT})
+	sl := r.NewSlice(reps, 100) // budgets 7500 / 2500
+	sl.Route("Miami", 4000, flatCI)
+	sl.Close()
+	served := sl.Served()
+	ratio := float64(served[0]) / float64(served[1])
+	if ratio < 2.8 || ratio > 3.2 {
+		t.Errorf("split %d/%d (ratio %.2f), want ~3.0", served[0], served[1], ratio)
+	}
+}
+
+func TestSpillOverOnSaturation(t *testing.T) {
+	reps := []Replica{
+		{ID: "near", City: "Miami", ZoneID: "Z", CapacityRPS: 1, ServiceMs: 8, EnergyPerReqJ: 1},
+		{ID: "far", City: "Far", ZoneID: "Z", CapacityRPS: 100, ServiceMs: 8, EnergyPerReqJ: 1},
+	}
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT})
+	sl := r.NewSlice(reps, 10) // near fits 10 requests, far 1000
+	sl.Route("Miami", 200, flatCI)
+	sl.Close()
+
+	st := r.Stats()
+	if st.SLOMet != 10 {
+		t.Errorf("slo_met=%d, want 10 (near replica budget)", st.SLOMet)
+	}
+	if st.Spilled != 190 {
+		t.Errorf("spilled=%d, want 190", st.Spilled)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("dropped=%d, want 0", st.Dropped)
+	}
+	// Spilled requests' latency (40+8+8... RTT 2*40? testRTT returns 40
+	// round-trip) lands well past the SLO in the sketch.
+	if p99 := st.Latency.Quantile(0.99); p99 <= 20 {
+		t.Errorf("p99 %.1f ms should reflect spill-over latency", p99)
+	}
+}
+
+func TestDropWhenAllSaturated(t *testing.T) {
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT})
+	sl := r.NewSlice(testReplicas(), 1) // 10-request budget per replica
+	sl.Route("Miami", 100, flatCI)
+	if sl.Dropped() != 70 {
+		t.Errorf("dropped=%d, want 70", sl.Dropped())
+	}
+	sl.Close()
+	st := r.Stats()
+	if st.Dropped != 70 || st.OverloadSlices != 1 {
+		t.Errorf("dropped=%d overload_slices=%d, want 70/1", st.Dropped, st.OverloadSlices)
+	}
+	if st.Requests != 100 || st.SLOMet+st.Dropped+st.Spilled != 100 {
+		t.Errorf("request accounting broken: %+v", st)
+	}
+	// Closing again must not double-count the overload.
+	sl.Close()
+	if st.OverloadSlices != 1 {
+		t.Error("double Close double-counted the overload")
+	}
+}
+
+func TestRoutingDeterministic(t *testing.T) {
+	run := func() Snapshot {
+		r := mustRouter(t, Config{SLOms: 20, RTT: testRTT, PerReplica: true})
+		for slice := 0; slice < 5; slice++ {
+			sl := r.NewSlice(testReplicas(), 60)
+			sl.Route("Miami", 700, flatCI)
+			sl.Route("Orlando", 500, flatCI)
+			sl.Route("Far", 300, flatCI)
+			sl.Close()
+		}
+		return r.Stats().Snapshot()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical routing diverged:\na: %+v\nb: %+v", a, b)
+	}
+}
+
+func TestPerReplicaSnapshot(t *testing.T) {
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT, PerReplica: true})
+	sl := r.NewSlice(testReplicas(), 100)
+	sl.Route("Tampa", 600, flatCI)
+	sl.Close()
+	snap := r.Stats().Snapshot()
+	if len(snap.Replicas) == 0 {
+		t.Fatal("no per-replica rows")
+	}
+	var total int64
+	for i, row := range snap.Replicas {
+		total += row.Requests
+		if i > 0 && snap.Replicas[i-1].ID >= row.ID {
+			t.Error("replica rows not sorted by ID")
+		}
+		if row.Requests > 0 && row.CarbonPerMReq <= 0 {
+			t.Errorf("%s: no per-request carbon attribution", row.ID)
+		}
+	}
+	if total != 600 {
+		t.Errorf("per-replica requests sum %d, want 600", total)
+	}
+	if snap.SLOPct != 100 {
+		t.Errorf("attainment %.1f%%, want 100%%", snap.SLOPct)
+	}
+}
+
+func TestZeroAndClosedSliceRouting(t *testing.T) {
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT})
+	sl := r.NewSlice(testReplicas(), 100)
+	sl.Route("Miami", 0, flatCI)
+	sl.Route("Miami", -5, flatCI)
+	sl.Close()
+	sl.Route("Miami", 50, flatCI) // closed: ignored
+	if st := r.Stats(); st.Requests != 0 {
+		t.Errorf("requests=%d, want 0", st.Requests)
+	}
+}

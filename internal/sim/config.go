@@ -14,6 +14,7 @@ import (
 	"repro/internal/carbon"
 	"repro/internal/energy"
 	"repro/internal/placement"
+	"repro/internal/traffic"
 )
 
 // Scenario selects how demand or capacity is distributed across sites
@@ -102,6 +103,17 @@ type Config struct {
 	// (~0.2 J/MB for wide-area transfer), charged at the destination
 	// zone's carbon intensity.
 	MigrationJPerMB float64
+	// Traffic, when non-nil, enables the request-level traffic-driven
+	// mode: an open-loop per-site request stream (Traffic.Scenario's
+	// temporal shape, demand-weighted across sites) is generated every
+	// epoch and routed across the live applications — the deployment's
+	// replicas — weighted by free capacity with spill-over on saturation.
+	// Served requests drive dynamic energy/carbon instead of the constant
+	// per-app power draw, and Result.Traffic records SLO attainment,
+	// latency quantiles, and per-request carbon attribution. A zero
+	// Traffic.Seed inherits Seed. When nil (the default) the classic
+	// epoch mode runs unchanged.
+	Traffic *traffic.Config
 }
 
 // DefaultConfig returns the paper's CDN baseline: year-long, 20 ms RTT
@@ -148,6 +160,11 @@ func (c *Config) Validate() error {
 	}
 	if c.RatePerSec <= 0 {
 		return fmt.Errorf("sim: RatePerSec must be positive")
+	}
+	if c.Traffic != nil {
+		if err := c.Traffic.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -12,6 +12,8 @@ import (
 	"repro/internal/latency"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/router"
+	"repro/internal/traffic"
 )
 
 // Observer taps the engine after each committed epoch. The result pointer
@@ -61,6 +63,12 @@ type Engine struct {
 	appSeq     int
 	start      time.Time
 	epoch      int
+
+	// Traffic-driven mode (cfg.Traffic != nil).
+	tgen     *traffic.Generator
+	trouter  *router.Router
+	sloMs    float64                   // end-to-end routing SLO
+	profiles map[string]energy.Profile // (model/device) cache for replica views
 
 	observers []Observer
 }
@@ -150,7 +158,66 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 		MonthlyPlacements: metrics.NewCounter(),
 	}
 	e.start = w.Traces.Start.Add(time.Duration(cfg.StartHour) * time.Hour)
+
+	if cfg.Traffic != nil {
+		if err := e.initTraffic(); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// initTraffic builds the traffic-driven mode: the open-loop generator over
+// the region's sites (demand-weighted, as the arrival sampler is) and the
+// replica router with its request-level telemetry.
+func (e *Engine) initTraffic() error {
+	tcfg := *e.cfg.Traffic
+	if tcfg.Seed == 0 {
+		tcfg.Seed = e.cfg.Seed
+	}
+	sources := make([]traffic.Source, len(e.sites))
+	for i, s := range e.sites {
+		sources[i] = traffic.Source{City: s.City, Weight: e.demandW[i], Lon: s.Location.Lon}
+	}
+	gen, err := traffic.NewGenerator(tcfg, e.start, sources)
+	if err != nil {
+		return err
+	}
+	// End-to-end SLO: the placement RTT limit plus the slowest service
+	// time any (model, device) pairing in this config can produce, so a
+	// replica is SLO-feasible exactly when its network RTT is within the
+	// placement limit — also on heterogeneous pools.
+	models := e.cfg.Models
+	if len(models) == 0 {
+		models = []string{e.cfg.Model}
+	}
+	var maxSvcMs float64
+	for _, m := range models {
+		for _, d := range e.cfg.Devices {
+			prof, err := energy.ProfileFor(m, d)
+			if err != nil {
+				continue // combination never placed
+			}
+			if prof.InferenceMs > maxSvcMs {
+				maxSvcMs = prof.InferenceMs
+			}
+		}
+	}
+	if maxSvcMs == 0 {
+		return fmt.Errorf("sim: no profiled (model, device) pairing for traffic mode")
+	}
+	e.sloMs = e.cfg.RTTLimitMs + maxSvcMs
+	r, err := router.New(router.Config{
+		SLOms: e.sloMs,
+		RTT:   e.rttOracle,
+	})
+	if err != nil {
+		return err
+	}
+	e.tgen, e.trouter = gen, r
+	e.profiles = map[string]energy.Profile{}
+	e.res.Traffic = r.Stats()
+	return nil
 }
 
 // AddObserver registers a per-epoch metrics tap.
@@ -191,6 +258,9 @@ func (e *Engine) Step() error {
 		if err := e.stepPlacement(apps, srcIdx, now, epoch, month); err != nil {
 			return err
 		}
+	}
+	if err := e.stepTraffic(now, epoch, month); err != nil {
+		return err
 	}
 	if err := e.stepAccrual(now, month); err != nil {
 		return err
@@ -303,21 +373,103 @@ func (e *Engine) stepPlacement(apps []placement.App, srcIdx []int, now time.Time
 	return nil
 }
 
+// stepTraffic runs one epoch of the traffic-driven mode: it draws the
+// epoch's aggregated per-site request slice, routes it across the live
+// applications (the replica pool), and folds the routed requests' energy
+// and per-request carbon attribution into the run totals. A no-op in the
+// classic epoch mode.
+func (e *Engine) stepTraffic(now time.Time, epoch, month int) error {
+	if e.tgen == nil {
+		return nil
+	}
+	// Per-zone intensity cache for this epoch's attributions. Load-CI
+	// sampling (Figure 11c) keeps its classic per-app-hour semantics in
+	// traffic mode: one sample per live replica per epoch.
+	ci := make(map[string]float64, 8)
+	for _, a := range e.live {
+		zone := e.sites[a.site].ZoneID
+		v, ok := ci[zone]
+		if !ok {
+			var err error
+			v, err = e.svc.Current(zone, now)
+			if err != nil {
+				return err
+			}
+			ci[zone] = v
+		}
+		if e.cfg.CollectLoadCI {
+			e.res.LoadCI = append(e.res.LoadCI, v)
+		}
+	}
+	replicas, err := e.trafficReplicas()
+	if err != nil {
+		return err
+	}
+	st := e.res.Traffic
+	kwh0, grams0 := st.EnergyKWh, st.CarbonG
+	sl := e.trouter.NewSlice(replicas, 3600)
+	srcs := e.tgen.Sources()
+	intensity := func(zone string) float64 { return ci[zone] }
+	for i, n := range e.tgen.Slice(epoch) {
+		if n > 0 {
+			sl.Route(srcs[i].City, n, intensity)
+		}
+	}
+	sl.Close()
+	e.res.EnergyKWh += st.EnergyKWh - kwh0
+	e.res.CarbonG += st.CarbonG - grams0
+	e.res.MonthlyCarbonG[month] += st.CarbonG - grams0
+	return nil
+}
+
+// trafficReplicas views the live applications as the routing replica pool:
+// each app serves at its provisioned rate, and telemetry is keyed by
+// hosting city so per-replica aggregates stay bounded over year runs.
+func (e *Engine) trafficReplicas() ([]router.Replica, error) {
+	replicas := make([]router.Replica, len(e.live))
+	for i, a := range e.live {
+		key := a.model + "/" + a.device
+		prof, ok := e.profiles[key]
+		if !ok {
+			var err error
+			prof, err = energy.ProfileFor(a.model, a.device)
+			if err != nil {
+				return nil, err
+			}
+			e.profiles[key] = prof
+		}
+		city := e.sites[a.site].City
+		replicas[i] = router.Replica{
+			ID:            city,
+			City:          city,
+			ZoneID:        e.sites[a.site].ZoneID,
+			CapacityRPS:   e.cfg.RatePerSec,
+			ServiceMs:     prof.InferenceMs,
+			EnergyPerReqJ: prof.EnergyPerRequestJ(),
+		}
+	}
+	return replicas, nil
+}
+
 // stepAccrual charges every live app's dynamic energy — plus woken
 // servers' base power when power management is on — at the hosting zone's
-// actual hourly carbon intensity.
+// actual hourly carbon intensity. In the traffic-driven mode the dynamic
+// term is load-driven and already accrued by stepTraffic, so only the
+// base-power term applies here.
 func (e *Engine) stepAccrual(now time.Time, month int) error {
-	for _, a := range e.live {
-		ci, err := e.svc.Current(e.sites[a.site].ZoneID, now)
-		if err != nil {
-			return err
-		}
-		kwh := a.powerW / 1000
-		e.res.CarbonG += kwh * ci
-		e.res.EnergyKWh += kwh
-		e.res.MonthlyCarbonG[month] += kwh * ci
-		if e.cfg.CollectLoadCI {
-			e.res.LoadCI = append(e.res.LoadCI, ci)
+	if e.tgen == nil {
+		for _, a := range e.live {
+			ci, err := e.svc.Current(e.sites[a.site].ZoneID, now)
+			if err != nil {
+				return err
+			}
+			kwh := a.powerW / 1000
+			e.res.CarbonG += kwh * ci
+			e.res.EnergyKWh += kwh
+			e.res.MonthlyCarbonG[month] += kwh * ci
+			if e.cfg.CollectLoadCI {
+				e.res.LoadCI = append(e.res.LoadCI, ci)
+			}
 		}
 	}
 	if !e.cfg.ServersAlwaysOn {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/latency"
 	"repro/internal/metrics"
+	"repro/internal/router"
 )
 
 // World bundles the static datasets a simulation runs against, so sweeps
@@ -81,6 +82,11 @@ type Result struct {
 	SolveTime time.Duration
 	// Batches counts placement invocations.
 	Batches int
+	// Traffic records the request-level telemetry — SLO attainment,
+	// latency quantiles, spill-over/drop counts, per-request carbon — in
+	// the traffic-driven mode (nil in the classic epoch mode). Its
+	// energy/carbon totals are already folded into EnergyKWh / CarbonG.
+	Traffic *router.Stats
 }
 
 // MeanRTTMs is the run's mean placed round-trip latency.

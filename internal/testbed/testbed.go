@@ -17,6 +17,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/orchestrator"
 	"repro/internal/placement"
+	"repro/internal/traffic"
 )
 
 // DCSpec describes one testbed data center.
@@ -83,6 +84,8 @@ type Testbed struct {
 	Orch    *orchestrator.Orchestrator
 	Cluster *cluster.Cluster
 	Shaper  *latency.Shaper
+
+	cities *latency.CityRegistry
 }
 
 // New builds the emulated testbed: one server per DC, pairwise latencies
@@ -162,7 +165,32 @@ func New(cfg Config) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Testbed{Region: cfg.Region, Orch: orch, Cluster: cl, Shaper: shaper}, nil
+	return &Testbed{Region: cfg.Region, Orch: orch, Cluster: cl, Shaper: shaper, cities: cfg.Cities}, nil
+}
+
+// AttachTraffic wires an open-loop request workload into the testbed's
+// orchestrator: each regional DC city is a demand source weighted by its
+// population, and every tick routes the window's aggregated slice across
+// the current deployments against the given end-to-end SLO. Traffic
+// starts at the orchestrator's current clock.
+func (tb *Testbed) AttachTraffic(cfg traffic.Config, sloMs float64) error {
+	sources := make([]traffic.Source, 0, len(tb.Region.DCs))
+	for _, spec := range tb.Region.DCs {
+		city, ok := tb.cities.ByName(spec.City)
+		if !ok {
+			return fmt.Errorf("testbed: unknown city %q", spec.City)
+		}
+		sources = append(sources, traffic.Source{
+			City:   spec.City,
+			Weight: city.PopulationM,
+			Lon:    city.Location.Lon,
+		})
+	}
+	gen, err := traffic.NewGenerator(cfg, tb.Orch.Now(), sources)
+	if err != nil {
+		return err
+	}
+	return tb.Orch.AttachTraffic(gen, sloMs)
 }
 
 // DayResult is a 24-hour testbed experiment outcome (Figures 8-10).

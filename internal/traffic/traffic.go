@@ -1,0 +1,256 @@
+// Package traffic generates deterministic open-loop request workloads for
+// the request-level traffic subsystem: per-source-city request streams
+// with diurnal and weekly demand shapes, Poisson arrivals, and
+// flash-crowd bursts. The paper's evaluation treats demand as a static
+// per-deployment rate; this package models the spatiotemporally varying
+// request traffic that rate abstracts away, so the simulator and the
+// orchestrator can drive utilization, SLO attainment, and per-request
+// carbon attribution from actual load.
+//
+// Like carbon.Generator, the process is fully deterministic given the
+// config seed: every hourly slice is drawn from an RNG seeded by
+// (seed, hour), so slices can be generated in any order — or concurrently
+// from any number of goroutines — and sweeps stay bit-identical.
+package traffic
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Scenario selects the temporal shape of the generated workload.
+type Scenario int
+
+// Workload scenarios.
+const (
+	// Steady holds the aggregate rate flat (the paper's implicit model).
+	Steady Scenario = iota
+	// Diurnal applies a double-peaked daily cycle in each source's local
+	// time plus a weekend dip.
+	Diurnal
+	// FlashCrowd is Diurnal plus periodic bursts concentrated on one
+	// source city (a viral event hitting one metro).
+	FlashCrowd
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Steady:
+		return "steady"
+	case Diurnal:
+		return "diurnal"
+	case FlashCrowd:
+		return "flash-crowd"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// ScenarioByName parses a scenario name (as printed by String).
+func ScenarioByName(name string) (Scenario, error) {
+	switch strings.ToLower(name) {
+	case "steady":
+		return Steady, nil
+	case "diurnal":
+		return Diurnal, nil
+	case "flash-crowd", "flash", "flashcrowd":
+		return FlashCrowd, nil
+	}
+	return 0, fmt.Errorf("traffic: unknown scenario %q", name)
+}
+
+// Source is one demand origin: a city emitting requests.
+type Source struct {
+	// City names the origin (a latency-registry city).
+	City string
+	// Weight is the source's share of the aggregate rate.
+	Weight float64
+	// Lon approximates the source's local solar time (15 degrees/hour)
+	// for the diurnal shape, mirroring carbon.Generator's demand model.
+	Lon float64
+}
+
+// Config parameterizes a workload.
+type Config struct {
+	// Seed fixes all arrival draws.
+	Seed int64
+	// Scenario selects the temporal shape.
+	Scenario Scenario
+	// RPS is the mean aggregate request rate (requests/second) across all
+	// sources at shape factor 1.0.
+	RPS float64
+	// FlashSource names the burst city for FlashCrowd (default: the
+	// heaviest source).
+	FlashSource string
+	// FlashEveryHours is the burst period (default 72).
+	FlashEveryHours int
+	// FlashDurationHours is the burst length (default 3).
+	FlashDurationHours int
+	// FlashMultiplier scales the burst source's rate during a burst
+	// (default 8).
+	FlashMultiplier float64
+}
+
+// Validate reports configuration problems.
+func (c *Config) Validate() error {
+	if c.RPS <= 0 {
+		return fmt.Errorf("traffic: RPS must be positive")
+	}
+	if c.Scenario < Steady || c.Scenario > FlashCrowd {
+		return fmt.Errorf("traffic: unknown scenario %d", int(c.Scenario))
+	}
+	if c.FlashEveryHours < 0 || c.FlashDurationHours < 0 || c.FlashMultiplier < 0 {
+		return fmt.Errorf("traffic: flash parameters must be non-negative")
+	}
+	return nil
+}
+
+// Generator produces hourly aggregated request slices per source.
+type Generator struct {
+	cfg      Config
+	start    time.Time
+	sources  []Source
+	totalW   float64
+	flashIdx int
+}
+
+// NewGenerator builds a generator over the given sources. start anchors
+// hour 0 to a wall-clock instant (the trace-year position determines
+// day-of-week and, with each source's longitude, local time).
+func NewGenerator(cfg Config, start time.Time, sources []Source) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("traffic: no sources")
+	}
+	if cfg.FlashEveryHours == 0 {
+		cfg.FlashEveryHours = 72
+	}
+	if cfg.FlashDurationHours == 0 {
+		cfg.FlashDurationHours = 3
+	}
+	if cfg.FlashMultiplier == 0 {
+		cfg.FlashMultiplier = 8
+	}
+	g := &Generator{cfg: cfg, start: start, sources: sources, flashIdx: -1}
+	for i, s := range sources {
+		if s.Weight < 0 {
+			return nil, fmt.Errorf("traffic: source %s has negative weight", s.City)
+		}
+		g.totalW += s.Weight
+		if cfg.FlashSource == s.City {
+			g.flashIdx = i
+		}
+	}
+	if g.totalW <= 0 {
+		return nil, fmt.Errorf("traffic: source weights sum to zero")
+	}
+	if cfg.FlashSource != "" && g.flashIdx < 0 {
+		return nil, fmt.Errorf("traffic: flash source %q not among sources", cfg.FlashSource)
+	}
+	if g.flashIdx < 0 {
+		// Default burst target: the heaviest source (first on ties).
+		for i, s := range sources {
+			if g.flashIdx < 0 || s.Weight > sources[g.flashIdx].Weight {
+				g.flashIdx = i
+			}
+		}
+	}
+	return g, nil
+}
+
+// Start returns the instant of hour 0.
+func (g *Generator) Start() time.Time { return g.start }
+
+// Sources returns the generator's demand origins (do not modify).
+func (g *Generator) Sources() []Source { return g.sources }
+
+// Rate returns source i's expected request rate (requests/second) during
+// hour h: the aggregate RPS split by weight and scaled by the scenario's
+// temporal shape at the source's local time.
+func (g *Generator) Rate(i, hour int) float64 {
+	s := g.sources[i]
+	base := g.cfg.RPS * s.Weight / g.totalW
+	return base * g.shape(i, hour)
+}
+
+// shape is the scenario's demand multiplier for source i at hour h.
+func (g *Generator) shape(i, hour int) float64 {
+	if g.cfg.Scenario == Steady {
+		return 1
+	}
+	ts := g.start.Add(time.Duration(hour) * time.Hour)
+	// Local solar time from longitude, as in carbon.Generator.
+	local := math.Mod(float64(ts.Hour())+g.sources[i].Lon/15+48, 24)
+	// Double-peaked day: midday shoulder and a dominant evening peak
+	// around 20:00 local, trough near 04:00.
+	f := 1 + 0.40*math.Sin(2*math.Pi*(local-14)/24) + 0.12*math.Sin(4*math.Pi*(local-2)/24)
+	if dow := ts.Weekday(); dow == time.Saturday || dow == time.Sunday {
+		f *= 0.82
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	if g.cfg.Scenario == FlashCrowd && i == g.flashIdx &&
+		hour%g.cfg.FlashEveryHours < g.cfg.FlashDurationHours {
+		f *= g.cfg.FlashMultiplier
+	}
+	return f
+}
+
+// Slice draws the aggregated request counts per source for hour h (one
+// Poisson draw per source over the 3600-second window). The result is a
+// pure function of (Seed, h): slices may be generated in any order and
+// from concurrent goroutines.
+func (g *Generator) Slice(hour int) []int64 {
+	rng := rand.New(rand.NewSource(hourSeed(g.cfg.Seed, hour)))
+	out := make([]int64, len(g.sources))
+	for i := range g.sources {
+		out[i] = poissonCount(rng, g.Rate(i, hour)*3600)
+	}
+	return out
+}
+
+// hourSeed derives the per-slice RNG seed.
+func hourSeed(base int64, hour int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for b := 0; b < 8; b++ {
+		buf[b] = byte(hour >> (8 * b))
+	}
+	h.Write(buf[:])
+	return base ^ int64(h.Sum64())
+}
+
+// poissonCount draws a Poisson(lambda) count: Knuth's product method for
+// small rates, the normal approximation for the large per-slice rates an
+// open-loop generator produces (a million-RPS source draws lambda ~ 3.6e9
+// per hour, far past where exact sampling matters or is affordable).
+func poissonCount(rng *rand.Rand, lambda float64) int64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		var k int64
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+	if n < 0 {
+		return 0
+	}
+	return int64(n + 0.5)
+}

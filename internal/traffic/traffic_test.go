@@ -1,0 +1,188 @@
+package traffic
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+var testStart = time.Date(2023, 1, 2, 0, 0, 0, 0, time.UTC) // a Monday
+
+func testSources() []Source {
+	return []Source{
+		{City: "Miami", Weight: 6, Lon: -80.2},
+		{City: "Orlando", Weight: 2.7, Lon: -81.4},
+		{City: "Tampa", Weight: 3.2, Lon: -82.5},
+	}
+}
+
+func mustGen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := NewGenerator(cfg, testStart, testSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{Seed: 1, RPS: 0}, testStart, testSources()); err == nil {
+		t.Error("zero RPS accepted")
+	}
+	if _, err := NewGenerator(Config{Seed: 1, RPS: 10}, testStart, nil); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := NewGenerator(Config{Seed: 1, RPS: 10, FlashSource: "Atlantis"}, testStart, testSources()); err == nil {
+		t.Error("unknown flash source accepted")
+	}
+	if _, err := NewGenerator(Config{Seed: 1, RPS: 10}, testStart,
+		[]Source{{City: "A", Weight: 0}}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+	if _, err := ScenarioByName("tsunami"); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+	for _, name := range []string{"steady", "diurnal", "flash-crowd"} {
+		s, err := ScenarioByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if s.String() != name {
+			t.Errorf("round-trip %s -> %s", name, s)
+		}
+	}
+}
+
+func TestSliceDeterministicAndRandomAccess(t *testing.T) {
+	cfg := Config{Seed: 42, Scenario: Diurnal, RPS: 500}
+	a, b := mustGen(t, cfg), mustGen(t, cfg)
+	// Draw hours in different orders; each hour must be identical.
+	for _, h := range []int{5, 0, 99, 5, 7} {
+		if !reflect.DeepEqual(a.Slice(h), b.Slice(h)) {
+			t.Fatalf("hour %d differs between generators", h)
+		}
+	}
+	first := a.Slice(17)
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(a.Slice(17), first) {
+			t.Fatal("repeated draws of one hour differ")
+		}
+	}
+	// A different seed must actually change the stream.
+	cfg.Seed = 43
+	c := mustGen(t, cfg)
+	same := true
+	for h := 0; h < 24; h++ {
+		if !reflect.DeepEqual(a.Slice(h), c.Slice(h)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed change did not alter the stream")
+	}
+}
+
+func TestConcurrentSlicesMatchSerial(t *testing.T) {
+	// Slices drawn concurrently (run under -race) must equal the serial
+	// stream — the generator holds no mutable state.
+	g := mustGen(t, Config{Seed: 7, Scenario: FlashCrowd, RPS: 1000})
+	const hours = 200
+	serial := make([][]int64, hours)
+	for h := 0; h < hours; h++ {
+		serial[h] = g.Slice(h)
+	}
+	parallel := make([][]int64, hours)
+	var wg sync.WaitGroup
+	for h := 0; h < hours; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			parallel[h] = g.Slice(h)
+		}(h)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("concurrent slice draws diverged from serial")
+	}
+}
+
+func TestSteadyMeanMatchesRPS(t *testing.T) {
+	g := mustGen(t, Config{Seed: 1, Scenario: Steady, RPS: 800})
+	var total int64
+	hours := 24 * 7
+	for h := 0; h < hours; h++ {
+		for _, n := range g.Slice(h) {
+			total += n
+		}
+	}
+	mean := float64(total) / float64(hours) / 3600
+	if mean < 760 || mean > 840 {
+		t.Errorf("steady mean rate %.1f rps, want ~800", mean)
+	}
+}
+
+func TestWeightsSplitDemand(t *testing.T) {
+	g := mustGen(t, Config{Seed: 5, Scenario: Steady, RPS: 600})
+	totals := make([]int64, 3)
+	for h := 0; h < 24*7; h++ {
+		for i, n := range g.Slice(h) {
+			totals[i] += n
+		}
+	}
+	// Miami (weight 6) should see roughly twice Tampa's (3.2) traffic.
+	ratio := float64(totals[0]) / float64(totals[2])
+	if ratio < 1.6 || ratio > 2.2 {
+		t.Errorf("Miami/Tampa ratio %.2f, want ~1.88", ratio)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	g := mustGen(t, Config{Seed: 9, Scenario: Diurnal, RPS: 1000})
+	// Compare the same local hours across the weekdays: evening peak vs
+	// pre-dawn trough for Miami (UTC-5ish by longitude).
+	peak, trough := 0.0, 0.0
+	for d := 0; d < 5; d++ {
+		// 01:00 UTC ~ 20:00 local; 09:00 UTC ~ 04:00 local.
+		peak += g.Rate(0, d*24+1)
+		trough += g.Rate(0, d*24+9)
+	}
+	if peak <= trough*1.5 {
+		t.Errorf("diurnal peak %.1f not clearly above trough %.1f", peak, trough)
+	}
+	// Weekend dip: Monday vs Saturday at the same hour.
+	if sat := g.Rate(0, 5*24+1); sat >= g.Rate(0, 1) {
+		t.Errorf("Saturday rate %.1f >= Monday rate %.1f", sat, g.Rate(0, 1))
+	}
+}
+
+func TestFlashCrowdBurst(t *testing.T) {
+	cfg := Config{Seed: 3, Scenario: FlashCrowd, RPS: 1000,
+		FlashSource: "Tampa", FlashEveryHours: 48, FlashDurationHours: 2, FlashMultiplier: 10}
+	g := mustGen(t, cfg)
+	inBurst := g.Rate(2, 48)  // hour 48 starts a burst window
+	outBurst := g.Rate(2, 50) // two hours later the burst has passed
+	if inBurst < outBurst*4 {
+		t.Errorf("burst rate %.1f not clearly above off-burst %.1f", inBurst, outBurst)
+	}
+	// Non-flash sources are unaffected by the window.
+	base := mustGen(t, Config{Seed: 3, Scenario: Diurnal, RPS: 1000})
+	if g.Rate(0, 48) != base.Rate(0, 48) {
+		t.Error("flash burst leaked into a non-flash source")
+	}
+}
+
+func TestPoissonCountRegimes(t *testing.T) {
+	g := mustGen(t, Config{Seed: 21, Scenario: Steady, RPS: 0.002}) // tiny lambda/hour
+	var total int64
+	for h := 0; h < 2000; h++ {
+		for _, n := range g.Slice(h) {
+			total += n
+		}
+	}
+	// lambda = 7.2/hour split over three sources; expect ~14400 total.
+	if total < 12000 || total > 17000 {
+		t.Errorf("small-rate Poisson total %d, want ~14400", total)
+	}
+}

@@ -16,6 +16,7 @@
 //	curl -X POST localhost:8080/api/v1/place
 //	curl localhost:8080/api/v1/metrics
 //	curl localhost:8080/api/v1/traffic
+//	curl localhost:8080/api/v1/placement   # live solver stats (backend, solve time, candidate sets)
 //
 // The service shuts down cleanly on SIGINT/SIGTERM: in-flight requests
 // drain and the clock goroutine stops.

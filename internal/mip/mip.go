@@ -116,6 +116,13 @@ type Options struct {
 	// Gap terminates early when (incumbent-bound)/|incumbent| falls
 	// below this relative gap (0 = prove optimality).
 	Gap float64
+	// Incumbent optionally warm-starts the search with a known
+	// integer-feasible point of length NumVars (e.g. a previous epoch's
+	// solution). It is validated against every constraint, bound, and
+	// integrality mark before use; an invalid point is silently ignored
+	// and the solve proceeds cold. A valid incumbent gives branch and
+	// bound an immediate upper bound, so pruning starts at the root.
+	Incumbent []float64
 }
 
 // Status reports the outcome of a solve.
@@ -226,7 +233,12 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 	// incumbent, best-first search cannot prune and degenerates on
 	// instances with many alternate optima (placement problems routinely
 	// have them: several servers with identical cost).
-	if x, obj, ok := p.dive(opt.IntTol); ok {
+	// A caller-supplied warm incumbent replaces the dive: it provides the
+	// same thing (an initial upper bound) without the dive's LP solves.
+	if x, obj, ok := p.validIncumbent(opt.Incumbent, opt.IntTol); ok {
+		incumbent = x
+		incumbentObj = obj
+	} else if x, obj, ok := p.dive(opt.IntTol); ok {
 		incumbent = x
 		incumbentObj = obj
 	}
@@ -403,6 +415,51 @@ func relGap(incumbent, bound float64) float64 {
 		return math.Abs(incumbent - bound)
 	}
 	return math.Abs(incumbent-bound) / math.Abs(incumbent)
+}
+
+// validIncumbent screens a caller-supplied warm-start point: it must have
+// the right arity, respect variable bounds and integrality, and satisfy
+// every constraint row (within tolerance). Returns the rounded point and
+// its true objective, or ok=false when the point cannot seed the search.
+func (p *Problem) validIncumbent(x []float64, intTol float64) ([]float64, float64, bool) {
+	if len(x) != p.n {
+		return nil, 0, false
+	}
+	const tol = 1e-6
+	for i, v := range x {
+		if v < -tol || v > p.upper[i]+tol {
+			return nil, 0, false
+		}
+		if p.integer[i] && math.Abs(v-math.Round(v)) > intTol {
+			return nil, 0, false
+		}
+	}
+	out := roundIntegers(x, p.integer)
+	for _, r := range p.rows {
+		var lhs float64
+		for i, c := range r.coeffs {
+			lhs += c * out[i]
+		}
+		switch r.op {
+		case lp.LE:
+			if lhs > r.rhs+tol {
+				return nil, 0, false
+			}
+		case lp.GE:
+			if lhs < r.rhs-tol {
+				return nil, 0, false
+			}
+		default:
+			if math.Abs(lhs-r.rhs) > tol {
+				return nil, 0, false
+			}
+		}
+	}
+	var obj float64
+	for i, c := range p.obj {
+		obj += c * out[i]
+	}
+	return out, obj, true
 }
 
 // dive runs the root diving heuristic: fix the most fractional integer

@@ -373,3 +373,74 @@ func TestDiveSeedsIncumbentOnPlateau(t *testing.T) {
 		t.Errorf("objective = %v, want 0.6", sol.Objective)
 	}
 }
+
+// knapsackProblem is the TestKnapsack instance: optimum -20 at [0 1 1].
+func knapsackProblem() *Problem {
+	p := NewProblem(3)
+	_ = p.SetObjective(0, -10)
+	_ = p.SetObjective(1, -13)
+	_ = p.SetObjective(2, -7)
+	_ = p.AddConstraint(map[int]float64{0: 3, 1: 4, 2: 2}, lp.LE, 6)
+	for i := 0; i < 3; i++ {
+		_ = p.SetBinary(i)
+	}
+	return p
+}
+
+func TestIncumbentWarmStartKeepsOptimum(t *testing.T) {
+	// Warm-starting with a feasible (suboptimal) point must not change
+	// the proven optimum.
+	p := knapsackProblem()
+	sol, err := p.Solve(Options{Incumbent: []float64{1, 0, 1}}) // obj -17
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-(-20)) > 1e-6 {
+		t.Fatalf("warm solve = %+v, want optimal -20", sol)
+	}
+	// Warm-starting with the optimum itself also works.
+	sol, err = p.Solve(Options{Incumbent: []float64{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-(-20)) > 1e-6 {
+		t.Fatalf("optimal warm solve = %+v, want optimal -20", sol)
+	}
+}
+
+func TestIncumbentInvalidIgnored(t *testing.T) {
+	p := knapsackProblem()
+	for name, bad := range map[string][]float64{
+		"wrong-arity":       {1, 0},
+		"constraint-broken": {1, 1, 1}, // weight 9 > 6
+		"fractional":        {0.5, 0.5, 0},
+		"out-of-bounds":     {2, 0, 0},
+		"negative":          {-1, 1, 1},
+	} {
+		sol, err := p.Solve(Options{Incumbent: bad})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Status != Optimal || math.Abs(sol.Objective-(-20)) > 1e-6 {
+			t.Fatalf("%s: invalid incumbent changed the solve: %+v", name, sol)
+		}
+	}
+}
+
+func TestIncumbentPrunesSearch(t *testing.T) {
+	// With the optimal incumbent supplied up front the search should
+	// explore no more nodes than the cold solve (pruning starts at the
+	// root instead of after the dive).
+	p := knapsackProblem()
+	cold, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Solve(Options{Incumbent: []float64{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Nodes > cold.Nodes {
+		t.Errorf("warm start explored %d nodes, cold %d", warm.Nodes, cold.Nodes)
+	}
+}

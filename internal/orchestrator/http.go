@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/placement"
 	"repro/internal/router"
 )
 
@@ -18,6 +19,7 @@ import (
 //	DELETE /api/v1/deployments/{name} undeploy
 //	GET    /api/v1/metrics            carbon/energy counters
 //	GET    /api/v1/traffic            live per-deployment SLO/latency stats
+//	GET    /api/v1/placement          live solver stats from the workspace
 func (o *Orchestrator) API() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/deployments", o.handleDeployments)
@@ -25,6 +27,7 @@ func (o *Orchestrator) API() http.Handler {
 	mux.HandleFunc("/api/v1/place", o.handlePlace)
 	mux.HandleFunc("/api/v1/metrics", o.handleMetrics)
 	mux.HandleFunc("/api/v1/traffic", o.handleTraffic)
+	mux.HandleFunc("/api/v1/placement", o.handlePlacement)
 	return mux
 }
 
@@ -139,6 +142,31 @@ type trafficBody struct {
 	LastOverload  string                   `json:"last_overload,omitempty"`
 	Totals        router.Snapshot          `json:"totals"`
 	Deployments   []router.ReplicaSnapshot `json:"deployments"`
+}
+
+// placementBody is the /placement payload: the last batch's solver
+// telemetry from the orchestrator's persistent workspace.
+type placementBody struct {
+	Now     string `json:"now"`
+	Batches int    `json:"batches"`
+	placement.SolveStats
+}
+
+func (o *Orchestrator) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	stats, batches, ok := o.PlacementStats()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"no placement batch solved yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, placementBody{
+		Now:        o.Now().String(),
+		Batches:    batches,
+		SolveStats: stats,
+	})
 }
 
 func (o *Orchestrator) handleTraffic(w http.ResponseWriter, r *http.Request) {

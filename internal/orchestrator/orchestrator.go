@@ -34,6 +34,18 @@ type Orchestrator struct {
 	placer  *placement.Placer
 	horizon int
 
+	// ws is the long-lived placement workspace: built from the cluster
+	// on the first batch, it keeps profile cells, RTT rows, and candidate
+	// shortlists across batches. Deploys commit into it, teardowns
+	// release from it, and the carbon clock refreshes its intensities;
+	// free capacity and power state are re-synced from the cluster (the
+	// allocation ground truth) before every solve.
+	ws        *placement.Workspace
+	fcCache   map[string]float64 // zone -> mean forecast, valid at fcAt
+	fcAt      time.Time
+	lastSolve placement.SolveStats
+	batches   int
+
 	now         time.Time
 	pending     []Recipe
 	deployments map[string]*Deployment
@@ -143,22 +155,8 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 	batch := o.pending
 	o.pending = nil
 
-	snap := o.cluster.Snapshot()
-	servers := make([]placement.Server, len(snap.Servers))
-	for j, st := range snap.Servers {
-		mean, err := o.carbon.MeanForecast(st.ZoneID, o.now, o.horizon)
-		if err != nil {
-			return nil, nil, fmt.Errorf("orchestrator: forecasting zone %s: %w", st.ZoneID, err)
-		}
-		servers[j] = placement.Server{
-			ID:         st.ServerID,
-			DC:         st.City,
-			Device:     st.Device,
-			Intensity:  mean,
-			BasePowerW: st.IdleW,
-			PoweredOn:  st.State == cluster.PoweredOn,
-			Free:       st.Free,
-		}
+	if err := o.syncWorkspace(); err != nil {
+		return nil, nil, err
 	}
 	apps := make([]placement.App, len(batch))
 	for i, rec := range batch {
@@ -167,7 +165,7 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 			SLOms: rec.SLOms, RatePerSec: rec.RatePerSec,
 		}
 	}
-	prob, err := placement.Build(apps, servers, o.rttMs, nil)
+	prob, err := o.ws.Problem(apps)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,6 +173,9 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 	if err != nil {
 		return nil, nil, err
 	}
+	o.lastSolve = result.Stats(prob)
+	o.batches++
+	servers := prob.Servers
 
 	// Commit: power transitions first (Eq. 5), then allocations.
 	a := result.Assignment
@@ -215,8 +216,64 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 		o.deployments[batch[i].Name] = dep
 		placed = append(placed, dep)
 	}
+	if err := o.ws.CommitAssignment(prob, result.Assignment); err != nil {
+		return nil, nil, fmt.Errorf("orchestrator: workspace commit: %w", err)
+	}
 	o.DeployLatency.Add(float64(time.Since(start)) / float64(time.Millisecond))
 	return placed, rejected, nil
+}
+
+// syncWorkspace (locked) brings the long-lived workspace up to date with
+// the cluster and the carbon clock: lazily built on first use, then each
+// batch re-syncs free capacity and power state from the cluster snapshot
+// (the allocation ground truth) and refreshes forecast intensities, with
+// the per-zone forecast memoized for the current clock value.
+func (o *Orchestrator) syncWorkspace() error {
+	snap := o.cluster.Snapshot()
+	if o.ws == nil || o.ws.NumServers() != len(snap.Servers) {
+		servers := make([]placement.Server, len(snap.Servers))
+		for j, st := range snap.Servers {
+			servers[j] = placement.Server{
+				ID:         st.ServerID,
+				DC:         st.City,
+				Device:     st.Device,
+				BasePowerW: st.IdleW,
+			}
+		}
+		ws, err := placement.NewWorkspace(servers, o.rttMs, nil)
+		if err != nil {
+			return err
+		}
+		o.ws = ws
+	}
+	if !o.now.Equal(o.fcAt) {
+		o.fcCache = map[string]float64{}
+		o.fcAt = o.now
+	}
+	for j, st := range snap.Servers {
+		mean, ok := o.fcCache[st.ZoneID]
+		if !ok {
+			var err error
+			mean, err = o.carbon.MeanForecast(st.ZoneID, o.now, o.horizon)
+			if err != nil {
+				return fmt.Errorf("orchestrator: forecasting zone %s: %w", st.ZoneID, err)
+			}
+			o.fcCache[st.ZoneID] = mean
+		}
+		o.ws.UpdateIntensity(j, mean)
+		o.ws.SetServerState(j, st.Free, st.State == cluster.PoweredOn)
+	}
+	return nil
+}
+
+// PlacementStats reports the live solver telemetry of the orchestrator's
+// workspace: the last batch's backend, solve times, and candidate-set
+// sizes, plus the cumulative batch count. ok is false before the first
+// placement batch.
+func (o *Orchestrator) PlacementStats() (stats placement.SolveStats, batches int, ok bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastSolve, o.batches, o.batches > 0
 }
 
 // Undeploy removes a deployment and frees its resources.
@@ -235,6 +292,12 @@ func (o *Orchestrator) Undeploy(name string) error {
 		return err
 	}
 	delete(o.deployments, name)
+	if o.ws != nil {
+		// Return the app's capacity to the workspace view; the next batch
+		// re-syncs from the cluster regardless, so a miss (e.g. the app
+		// predates the workspace) is harmless.
+		_ = o.ws.ReleaseApp(name)
+	}
 	return nil
 }
 

@@ -383,3 +383,85 @@ func TestDeploymentsSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkspaceLifecycleAcrossBatches drives the orchestrator's
+// long-lived placement workspace through deploy → teardown → redeploy →
+// carbon-clock ticks, checking that capacity decisions stay correct and
+// the solver stats surface updates per batch.
+func TestWorkspaceLifecycleAcrossBatches(t *testing.T) {
+	o := fixture(t, placement.CarbonAware{})
+	if _, _, ok := o.PlacementStats(); ok {
+		t.Fatal("placement stats reported before any batch")
+	}
+
+	// Batch 1: two apps land on the green DC.
+	for _, name := range []string{"a1", "a2"} {
+		if err := o.Submit(testRecipe(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	placed, rejected, err := o.PlaceBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 2 || len(rejected) != 0 {
+		t.Fatalf("batch 1: placed=%d rejected=%v", len(placed), rejected)
+	}
+	stats, batches, ok := o.PlacementStats()
+	if !ok || batches != 1 {
+		t.Fatalf("stats after batch 1: ok=%v batches=%d", ok, batches)
+	}
+	if stats.Apps != 2 || stats.Placed != 2 || stats.Backend == "" {
+		t.Fatalf("stats after batch 1 incomplete: %+v", stats)
+	}
+	if stats.CandidatesMin <= 0 || stats.CandidatesMax > stats.Servers {
+		t.Fatalf("candidate stats out of range: %+v", stats)
+	}
+
+	// Tick the carbon clock so the next batch re-syncs intensities.
+	for h := 0; h < 6; h++ {
+		if err := o.Tick(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Teardown one app, then place another batch: the freed capacity
+	// must be visible to the workspace-backed solve.
+	if err := o.Undeploy("a1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Submit(testRecipe("a3")); err != nil {
+		t.Fatal(err)
+	}
+	placed, rejected, err = o.PlaceBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 1 || len(rejected) != 0 {
+		t.Fatalf("batch 2: placed=%d rejected=%v", len(placed), rejected)
+	}
+	if _, batches, _ := o.PlacementStats(); batches != 2 {
+		t.Fatalf("batches = %d, want 2", batches)
+	}
+
+	// Saturate the green server's GPU memory (16384 MB / 135 MB per
+	// ResNet50 at these rates; occupancy binds first at 12 apps per
+	// server): with both servers full, a further app must be rejected.
+	for i := 0; i < 25; i++ {
+		name := "fill" + string(rune('a'+i))
+		if err := o.Submit(testRecipe(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rejected, err = o.PlaceBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejected) == 0 {
+		t.Fatal("saturating batch rejected nothing; workspace capacity view is stale")
+	}
+	stats, _, _ = o.PlacementStats()
+	if stats.Unplaced != len(rejected) {
+		t.Errorf("stats unplaced %d != rejected %d", stats.Unplaced, len(rejected))
+	}
+}

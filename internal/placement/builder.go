@@ -34,6 +34,24 @@ func Build(apps []App, servers []Server, rtt RTTFunc, profile func(model, device
 	if profile == nil {
 		profile = energy.ProfileFor
 	}
+	// Memoize (model, device) resolution: the profile table is tiny but a
+	// dense fill queries it once per matrix cell — O(apps x servers)
+	// repeated lookups on the hot path for nothing.
+	type profMemo struct {
+		prof energy.Profile
+		ok   bool
+	}
+	memo := make(map[string]profMemo)
+	lookup := func(model, device string) (energy.Profile, bool) {
+		key := model + "\x00" + device
+		m, hit := memo[key]
+		if !hit {
+			prof, err := profile(model, device)
+			m = profMemo{prof: prof, ok: err == nil}
+			memo[key] = m
+		}
+		return m.prof, m.ok
+	}
 	p := NewProblem(apps, servers)
 	for i, a := range apps {
 		if a.RatePerSec < 0 {
@@ -41,8 +59,8 @@ func Build(apps []App, servers []Server, rtt RTTFunc, profile func(model, device
 		}
 		for j, s := range servers {
 			p.LatencyMs[i][j] = rtt(a.Source, s.DC)
-			prof, err := profile(a.Model, s.Device)
-			if err != nil {
+			prof, ok := lookup(a.Model, s.Device)
+			if !ok {
 				p.Compatible[i][j] = false
 				continue
 			}

@@ -28,6 +28,21 @@ func NewExactSolver() *ExactSolver {
 
 // Solve builds and solves the MILP for the problem under the policy.
 func (s *ExactSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
+	return s.solve(p, pol, nil)
+}
+
+// SolveWarm solves the same MILP with a warm start: the previous epoch's
+// assignment is translated into an integer point and handed to the
+// branch-and-bound as its initial incumbent, so bound pruning starts
+// immediately instead of after the root dive. The optimum is unchanged;
+// only the search gets cheaper. An incumbent that is no longer feasible
+// under the current problem is validated away and the solve proceeds
+// cold. Only warm.ServerOf is read; power states are re-derived.
+func (s *ExactSolver) SolveWarm(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
+	return s.solve(p, pol, warm)
+}
+
+func (s *ExactSolver) solve(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -131,7 +146,27 @@ func (s *ExactSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
 		}
 	}
 
-	sol, err := prob.Solve(s.Options)
+	opts := s.Options
+	if warm != nil && len(warm.ServerOf) == len(p.Apps) {
+		// Translate the warm assignment into a variable vector: x_ij = 1
+		// for each still-feasible pair, y_j = 1 for hosting or already-on
+		// servers. mip validates the point and discards it if any
+		// constraint (e.g. Eq. 3 for an app whose pair vanished) fails.
+		x := make([]float64, yBase+m)
+		for i, j := range warm.ServerOf {
+			if idx, ok := pairIdx[pair{i, j}]; j >= 0 && ok {
+				x[idx] = 1
+				x[yBase+j] = 1
+			}
+		}
+		for j := 0; j < m; j++ {
+			if p.Servers[j].PoweredOn {
+				x[yBase+j] = 1
+			}
+		}
+		opts.Incumbent = x
+	}
+	sol, err := prob.Solve(opts)
 	if err != nil {
 		return nil, err
 	}

@@ -94,37 +94,64 @@ func (st *state) unplace(i int) {
 	}
 }
 
-// Solve runs greedy construction + local search.
+// Solve runs greedy construction + local search. Problems carrying
+// candidate shortlists (the Workspace path) are scanned over the
+// shortlists only; the assignment is identical to the dense scan because
+// every skipped server is infeasible.
 func (s *HeuristicSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
+	return s.solve(p, pol, nil)
+}
+
+// SolveWarm seeds the search with a previous assignment instead of greedy
+// construction: every still-feasible (app, server) pair of warm is
+// re-placed, then the same local search runs to convergence. Cost is a
+// local optimum either way, but converging from a near-solution is much
+// cheaper than constructing from scratch when little has changed between
+// epochs. Only warm.ServerOf is read; power states are re-derived.
+func (s *HeuristicSolver) SolveWarm(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
+	return s.solve(p, pol, warm)
+}
+
+func (s *HeuristicSolver) solve(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	st := newState(p, pol)
 
-	// Construction: place the most constrained apps first (fewest
-	// feasible servers), each on its cheapest feasible server. This is
-	// the classic most-constrained-variable heuristic and avoids
-	// painting flexible apps into constrained servers.
-	order := make([]int, len(p.Apps))
-	options := make([]int, len(p.Apps))
-	for i := range order {
-		order[i] = i
-		options[i] = len(p.FeasibleServers(i))
-	}
-	sort.SliceStable(order, func(a, b int) bool { return options[order[a]] < options[order[b]] })
-
-	for _, i := range order {
-		best, bestCost := -1, math.Inf(1)
-		for j := range p.Servers {
-			if !st.canPlace(i, j) {
-				continue
-			}
-			if c := st.placeCost(i, j); c < bestCost {
-				best, bestCost = j, c
+	if warm != nil && len(warm.ServerOf) == len(p.Apps) {
+		// Warm start: re-commit the previous epoch's placements that are
+		// still feasible; local search below repairs the rest.
+		for i, j := range warm.ServerOf {
+			if j >= 0 && j < len(p.Servers) && st.canPlace(i, j) {
+				st.place(i, j)
 			}
 		}
-		if best >= 0 {
-			st.place(i, best)
+	} else {
+		// Construction: place the most constrained apps first (fewest
+		// feasible servers), each on its cheapest feasible server. This is
+		// the classic most-constrained-variable heuristic and avoids
+		// painting flexible apps into constrained servers.
+		order := make([]int, len(p.Apps))
+		options := make([]int, len(p.Apps))
+		for i := range order {
+			order[i] = i
+			options[i] = len(p.FeasibleServers(i))
+		}
+		sort.SliceStable(order, func(a, b int) bool { return options[order[a]] < options[order[b]] })
+
+		for _, i := range order {
+			best, bestCost := -1, math.Inf(1)
+			for _, j := range p.CandidatesOf(i) {
+				if !st.canPlace(i, j) {
+					continue
+				}
+				if c := st.placeCost(i, j); c < bestCost {
+					best, bestCost = j, c
+				}
+			}
+			if best >= 0 {
+				st.place(i, best)
+			}
 		}
 	}
 
@@ -139,7 +166,7 @@ func (s *HeuristicSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
 			cur := st.assigned[i]
 			if cur < 0 {
 				// Retry unplaced apps: capacity may have shifted.
-				for j := range p.Servers {
+				for _, j := range p.CandidatesOf(i) {
 					if st.canPlace(i, j) {
 						st.place(i, j)
 						improved = true
@@ -151,7 +178,7 @@ func (s *HeuristicSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
 			curCost := st.moveAwareCost(i, cur)
 			st.unplace(i)
 			best, bestCost := cur, curCost
-			for j := range p.Servers {
+			for _, j := range p.CandidatesOf(i) {
 				if j == cur || !st.canPlace(i, j) {
 					continue
 				}

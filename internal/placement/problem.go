@@ -8,6 +8,16 @@
 // (packages lp + mip, substituting for Google OR-Tools) for instances
 // within its envelope, and a greedy + local-search heuristic that scales
 // to CDN-sized instances. Both minimize the same policy-defined cost.
+//
+// Problem instances come from two builders. Build assembles a dense
+// one-shot instance from scratch — the compatibility wrapper for callers
+// that place a single batch. Workspace is the incremental form: built
+// once per world, it persists server state, memoized profile and RTT
+// tables, and per-app candidate shortlists across batches, and its
+// lifecycle is build → solve → commit → update → re-solve (see the
+// Workspace doc). Both builders feed the same solvers and produce
+// byte-identical assignments; the workspace just gets there in time
+// proportional to the batch instead of the world.
 package placement
 
 import (
@@ -68,10 +78,47 @@ type Problem struct {
 	// Compatible[i][j] reports whether server j can run app i's model at
 	// all (e.g. GPU models cannot run on CPU-only servers).
 	Compatible [][]bool
+
+	// Candidates, when non-nil, lists for each app the server indices
+	// (ascending) that can ever host it: the latency- and
+	// compatibility-feasible shortlist a Workspace precomputes. Solvers
+	// restrict their scans to these indices; every server outside an
+	// app's shortlist must be infeasible for it. Nil means every server
+	// is a candidate for every app (the dense Build path).
+	Candidates [][]int
+
+	// allServers is the lazily-built identity shortlist used when
+	// Candidates is nil.
+	allServers []int
+}
+
+// CandidatesOf returns app i's candidate server indices in ascending
+// order: the precomputed shortlist when present, otherwise every server.
+// No lazy caching here — a dense Problem stays read-only during Solve, so
+// concurrent solves over one Problem remain safe.
+func (p *Problem) CandidatesOf(i int) []int {
+	if p.Candidates != nil {
+		return p.Candidates[i]
+	}
+	if len(p.allServers) == len(p.Servers) {
+		return p.allServers
+	}
+	return identityIndices(len(p.Servers)) // hand-built shell without NewProblem
+}
+
+func identityIndices(m int) []int {
+	idx := make([]int, m)
+	for j := range idx {
+		idx[j] = j
+	}
+	return idx
 }
 
 // NewProblem allocates a problem shell with all pairwise matrices sized
-// |apps| x |servers|. Callers fill the matrices.
+// |apps| x |servers|. Callers fill the matrices. Each matrix is one
+// contiguous allocation sliced into rows: at CDN scale the matrices are
+// megabytes per batch, and row-at-a-time allocation would hand the GC
+// hundreds of objects to track per solver invocation.
 func NewProblem(apps []App, servers []Server) *Problem {
 	p := &Problem{Apps: apps, Servers: servers}
 	n, m := len(apps), len(servers)
@@ -79,12 +126,18 @@ func NewProblem(apps []App, servers []Server) *Problem {
 	p.PowerW = make([][]float64, n)
 	p.LatencyMs = make([][]float64, n)
 	p.Compatible = make([][]bool, n)
+	demand := make([]cluster.Resources, n*m)
+	power := make([]float64, n*m)
+	lat := make([]float64, n*m)
+	compat := make([]bool, n*m)
 	for i := 0; i < n; i++ {
-		p.Demand[i] = make([]cluster.Resources, m)
-		p.PowerW[i] = make([]float64, m)
-		p.LatencyMs[i] = make([]float64, m)
-		p.Compatible[i] = make([]bool, m)
+		lo, hi := i*m, (i+1)*m
+		p.Demand[i] = demand[lo:hi:hi]
+		p.PowerW[i] = power[lo:hi:hi]
+		p.LatencyMs[i] = lat[lo:hi:hi]
+		p.Compatible[i] = compat[lo:hi:hi]
 	}
+	p.allServers = identityIndices(m)
 	return p
 }
 
@@ -119,6 +172,20 @@ func (p *Problem) Validate() error {
 			return fmt.Errorf("placement: matrix column count mismatch at app %d", i)
 		}
 	}
+	if p.Candidates != nil {
+		if len(p.Candidates) != n {
+			return fmt.Errorf("placement: candidate row count mismatch")
+		}
+		for i, cand := range p.Candidates {
+			prev := -1
+			for _, j := range cand {
+				if j <= prev || j >= m {
+					return fmt.Errorf("placement: candidate list for app %d not ascending in [0,%d)", i, m)
+				}
+				prev = j
+			}
+		}
+	}
 	return nil
 }
 
@@ -137,9 +204,11 @@ func (p *Problem) Feasible(i, j int) bool {
 }
 
 // FeasibleServers returns the indices of servers feasible for app i.
+// With candidate shortlists present only the shortlist is scanned;
+// servers outside it are infeasible by construction.
 func (p *Problem) FeasibleServers(i int) []int {
 	var out []int
-	for j := range p.Servers {
+	for _, j := range p.CandidatesOf(i) {
 		if p.Feasible(i, j) {
 			out = append(out, j)
 		}

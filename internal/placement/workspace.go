@@ -1,0 +1,521 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+)
+
+// Workspace is the persistent form of the placement problem: it is built
+// once per world and reused across batches and epochs, so the per-batch
+// cost of Algorithm 1 is proportional to the batch, not the world.
+//
+// Where Build re-derives every pairwise input from scratch, the workspace
+// owns:
+//
+//   - the live server state (free capacity, power state, per-epoch carbon
+//     intensity), advanced incrementally via CommitAssignment,
+//     ReleaseApp, UpdateIntensity, SetServerState, and AddServers;
+//   - memoized (model, device) profile tables and per-(model, rate)
+//     demand/power cells, resolved once per class instead of once per
+//     (app, server) matrix cell;
+//   - memoized per-source RTT rows against every server;
+//   - per-(source, SLO, model, rate) candidate shortlists: the server
+//     indices that can ever satisfy the app's latency bound and model
+//     compatibility. Solvers iterate these shortlists instead of the full
+//     server axis, which is what makes CDN-scale batches cheap.
+//
+// Problem assembles a solver-ready *Problem view against the current
+// state; the view carries the shortlists in Problem.Candidates and is
+// guaranteed to solve to the byte-identical assignment the dense Build
+// path produces (see TestWorkspaceIncrementalEquivalence).
+//
+// The lifecycle is build → solve → commit → update → re-solve:
+//
+//	ws, _ := placement.NewWorkspace(servers, rtt, nil)
+//	for each batch {
+//		for j, ci := range freshIntensities { ws.UpdateIntensity(j, ci) }
+//		p, _ := ws.Problem(batch)
+//		a, _ := solver.Solve(p, pol)
+//		ws.CommitAssignment(p, a)
+//	}
+//
+// A Workspace is not safe for concurrent use; give each goroutine its own
+// (they may share the underlying world — all memo inputs are read-only).
+type Workspace struct {
+	servers []Server
+	rtt     RTTFunc
+	profile func(model, device string) (energy.Profile, error)
+
+	rttRows map[string][]float64 // source city -> RTT per server
+	classes map[classKey]*appClass
+	latOK   map[latKey]*idxSpan
+	cands   map[candKey]*idxSpan
+
+	// committed tracks live apps by ID for ReleaseApp.
+	committed map[string]commitRec
+
+	// scratch is the reusable problem-matrix arena. A dense n x m batch
+	// problem is megabytes of zeroed memory; reusing the backing arrays
+	// and wiping only the cells the previous batch touched keeps problem
+	// assembly proportional to the batch, not the world.
+	scratch scratchArena
+	last    *Problem // previous Problem view; its cells get wiped lazily
+}
+
+// scratchArena holds the reusable matrix backing for Problem views.
+type scratchArena struct {
+	m      int // column width the backing is laid out for
+	demand []cluster.Resources
+	power  []float64
+	lat    []float64
+	compat []bool
+	rowsD  [][]cluster.Resources
+	rowsP  [][]float64
+	rowsL  [][]float64
+	rowsC  [][]bool
+}
+
+// classKey identifies an app equivalence class: demand, power, and
+// compatibility depend only on (model, rate).
+type classKey struct {
+	model string
+	rate  float64
+}
+
+// latKey identifies a latency-feasibility shortlist.
+type latKey struct {
+	source string
+	sloMs  float64
+}
+
+// candKey identifies a full candidate shortlist.
+type candKey struct {
+	source string
+	sloMs  float64
+	model  string
+	rate   float64
+}
+
+// cell is one app class's precomputed coefficients on one server.
+type cell struct {
+	demand cluster.Resources
+	powerW float64
+	ok     bool
+}
+
+// appClass caches per-device profile resolution for one (model, rate)
+// class, expanded lazily over the server axis.
+type appClass struct {
+	byDevice map[string]cell
+	cells    []cell // indexed by server, extended on demand
+}
+
+// idxSpan is a server-index shortlist that knows how far along the server
+// axis it has been computed, so AddServers extends rather than rebuilds.
+type idxSpan struct {
+	upTo int
+	idx  []int
+}
+
+// commitRec remembers where a committed app lives and what it holds.
+type commitRec struct {
+	server int
+	demand cluster.Resources
+}
+
+// maxMemoEntries bounds each memo table. Keys derive from app attributes
+// (source, SLO, model, rate), so a long-lived service fed ever-new rate
+// values would otherwise grow the tables without bound; past the cap a
+// table resets and rebuilds on demand. Simulation and CDN workloads use a
+// handful of keys and never get near it.
+const maxMemoEntries = 4096
+
+// memoRoom clears a memo table about to exceed the cap. The reset is
+// cheap relative to rebuilding entries on demand, and any single batch is
+// far smaller than the cap, so thrash within a batch is impossible.
+func memoRoom[K comparable, V any](m map[K]V) map[K]V {
+	if len(m) >= maxMemoEntries {
+		return make(map[K]V, maxMemoEntries/4)
+	}
+	return m
+}
+
+// NewWorkspace builds a workspace over the initial server set. The rtt
+// oracle and profile table must be deterministic; profile nil defaults to
+// energy.ProfileFor. The servers slice is copied.
+func NewWorkspace(servers []Server, rtt RTTFunc, profile func(model, device string) (energy.Profile, error)) (*Workspace, error) {
+	if rtt == nil {
+		return nil, fmt.Errorf("placement: nil RTT oracle")
+	}
+	if profile == nil {
+		profile = energy.ProfileFor
+	}
+	ids := map[string]bool{}
+	for _, s := range servers {
+		if ids[s.ID] {
+			return nil, fmt.Errorf("placement: duplicate server ID %q", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	return &Workspace{
+		servers:   append([]Server(nil), servers...),
+		rtt:       rtt,
+		profile:   profile,
+		rttRows:   map[string][]float64{},
+		classes:   map[classKey]*appClass{},
+		latOK:     map[latKey]*idxSpan{},
+		cands:     map[candKey]*idxSpan{},
+		committed: map[string]commitRec{},
+	}, nil
+}
+
+// NumServers returns the current server count.
+func (ws *Workspace) NumServers() int { return len(ws.servers) }
+
+// Server returns a copy of server j's current placement view.
+func (ws *Workspace) Server(j int) Server { return ws.servers[j] }
+
+// Servers returns a copy of the current server views in index order.
+func (ws *Workspace) Servers() []Server {
+	return append([]Server(nil), ws.servers...)
+}
+
+// AddServers appends servers to the workspace (scaling the world up
+// mid-run). Existing shortlists extend incrementally on next use; indices
+// of existing servers are stable.
+func (ws *Workspace) AddServers(servers ...Server) error {
+	for _, s := range servers {
+		for _, have := range ws.servers {
+			if have.ID == s.ID {
+				return fmt.Errorf("placement: duplicate server ID %q", s.ID)
+			}
+		}
+		ws.servers = append(ws.servers, s)
+	}
+	return nil
+}
+
+// UpdateIntensity sets server j's forecast carbon intensity (the
+// carbon-clock tick). Shortlists are intensity-independent, so this is
+// O(1).
+func (ws *Workspace) UpdateIntensity(j int, intensity float64) {
+	ws.servers[j].Intensity = intensity
+}
+
+// SetServerState overwrites server j's free capacity and power state.
+// Layers that keep their own capacity accounting (the simulator's
+// aggregate site servers, the orchestrator's cluster) use this to sync
+// the workspace before a solve instead of CommitAssignment/ReleaseApp.
+func (ws *Workspace) SetServerState(j int, free cluster.Resources, poweredOn bool) {
+	ws.servers[j].Free = free
+	ws.servers[j].PoweredOn = poweredOn
+}
+
+// CommitAssignment applies a solved batch to the workspace: hosting
+// servers lose the apps' demand and decided power-ons take effect, so the
+// next Problem call sees the residual capacity (Algorithm 1's incremental
+// step). p must be a Problem built by this workspace (or share its server
+// indexing). Committed apps are remembered by ID for ReleaseApp.
+func (ws *Workspace) CommitAssignment(p *Problem, a *Assignment) error {
+	// Validate the whole assignment before touching any state, so a bad
+	// batch never leaves the workspace half-committed.
+	if len(a.ServerOf) != len(p.Apps) || len(a.PowerOn) > len(ws.servers) {
+		return fmt.Errorf("placement: assignment shape mismatch with workspace")
+	}
+	seen := make(map[string]bool, len(p.Apps))
+	for i, j := range a.ServerOf {
+		if j < 0 {
+			continue
+		}
+		if j >= len(ws.servers) {
+			return fmt.Errorf("placement: app %d assigned to unknown server %d", i, j)
+		}
+		id := p.Apps[i].ID
+		if _, dup := ws.committed[id]; dup || seen[id] {
+			return fmt.Errorf("placement: app %q already committed", id)
+		}
+		seen[id] = true
+	}
+	for i, j := range a.ServerOf {
+		if j < 0 {
+			continue
+		}
+		ws.servers[j].Free = ws.servers[j].Free.Sub(p.Demand[i][j])
+		ws.servers[j].PoweredOn = true
+		ws.committed[p.Apps[i].ID] = commitRec{server: j, demand: p.Demand[i][j]}
+	}
+	for j, on := range a.PowerOn {
+		if on {
+			ws.servers[j].PoweredOn = true
+		}
+	}
+	return nil
+}
+
+// ReleaseApp returns a committed app's resources to its server (teardown
+// or departure). The server's power state is left untouched; powering
+// down is a policy decision of the owning layer.
+func (ws *Workspace) ReleaseApp(id string) error {
+	rec, ok := ws.committed[id]
+	if !ok {
+		return fmt.Errorf("placement: no committed app %q", id)
+	}
+	ws.servers[rec.server].Free = ws.servers[rec.server].Free.Add(rec.demand)
+	delete(ws.committed, id)
+	return nil
+}
+
+// rttRow returns the memoized RTT row for a source city, extended to the
+// current server count.
+func (ws *Workspace) rttRow(source string) []float64 {
+	row, ok := ws.rttRows[source]
+	if !ok {
+		ws.rttRows = memoRoom(ws.rttRows)
+	}
+	for j := len(row); j < len(ws.servers); j++ {
+		row = append(row, ws.rtt(source, ws.servers[j].DC))
+	}
+	ws.rttRows[source] = row
+	return row
+}
+
+// class returns the memoized coefficient cells for a (model, rate) class,
+// extended to the current server count.
+func (ws *Workspace) class(model string, rate float64) *appClass {
+	key := classKey{model, rate}
+	c := ws.classes[key]
+	if c == nil {
+		ws.classes = memoRoom(ws.classes)
+		c = &appClass{byDevice: map[string]cell{}}
+		ws.classes[key] = c
+	}
+	for j := len(c.cells); j < len(ws.servers); j++ {
+		device := ws.servers[j].Device
+		dc, ok := c.byDevice[device]
+		if !ok {
+			dc = ws.resolveCell(model, device, rate)
+			c.byDevice[device] = dc
+		}
+		c.cells = append(c.cells, dc)
+	}
+	return c
+}
+
+// resolveCell computes one class's demand/power/compatibility on a device:
+// the same derivation Build performs per matrix cell, done once per
+// (model, device, rate).
+func (ws *Workspace) resolveCell(model, device string, rate float64) cell {
+	prof, err := ws.profile(model, device)
+	if err != nil {
+		return cell{}
+	}
+	occupancyMilli := rate * prof.InferenceMs
+	if occupancyMilli > 1000 {
+		// The class saturates this device; no single server can host it.
+		return cell{}
+	}
+	var demand cluster.Resources
+	if prof.Device != energy.XeonE5.Name {
+		demand = cluster.NewResources(occupancyMilli, hostMemPerAppMB, prof.MemMB, rate*mbpsPerRequest)
+	} else {
+		demand = cluster.NewResources(occupancyMilli, prof.MemMB, 0, rate*mbpsPerRequest)
+	}
+	return cell{demand: demand, powerW: rate * prof.EnergyPerRequestJ(), ok: true}
+}
+
+// latFeasible returns the shortlist of servers within the latency bound
+// for (source, slo), extended to the current server count.
+func (ws *Workspace) latFeasible(source string, sloMs float64) *idxSpan {
+	key := latKey{source, sloMs}
+	sp := ws.latOK[key]
+	if sp == nil {
+		ws.latOK = memoRoom(ws.latOK)
+		sp = &idxSpan{}
+		ws.latOK[key] = sp
+	}
+	if sp.upTo < len(ws.servers) {
+		row := ws.rttRow(source)
+		for j := sp.upTo; j < len(ws.servers); j++ {
+			if row[j] <= sloMs+1e-9 {
+				sp.idx = append(sp.idx, j)
+			}
+		}
+		sp.upTo = len(ws.servers)
+	}
+	return sp
+}
+
+// candidates returns the full candidate shortlist for an app class:
+// servers that are both within the latency bound and model-compatible,
+// in ascending server order (so solver tie-breaks match the dense path).
+func (ws *Workspace) candidates(a App) []int {
+	key := candKey{a.Source, a.SLOms, a.Model, a.RatePerSec}
+	sp := ws.cands[key]
+	if sp == nil {
+		ws.cands = memoRoom(ws.cands)
+		sp = &idxSpan{}
+		ws.cands[key] = sp
+	}
+	if sp.upTo < len(ws.servers) {
+		lat := ws.latFeasible(a.Source, a.SLOms)
+		cls := ws.class(a.Model, a.RatePerSec)
+		for _, j := range lat.idx {
+			if j >= sp.upTo && cls.cells[j].ok {
+				sp.idx = append(sp.idx, j)
+			}
+		}
+		sp.upTo = len(ws.servers)
+	}
+	return sp.idx
+}
+
+// Problem assembles a solver-ready view of one batch against the current
+// workspace state. Matrix cells are filled only for candidate pairs (all
+// other pairs are infeasible for the solvers either way), and
+// Problem.Candidates carries the shortlists so both backends skip the
+// dense server axis. The returned problem snapshots the server state: a
+// later CommitAssignment does not mutate it.
+//
+// The problem's matrices live in a reused arena: they are valid until the
+// next Problem call on this workspace, and numeric cells outside an app's
+// candidate list are unspecified (Compatible is false there, which is the
+// gate every consumer checks). Callers that retain a batch's problem
+// across batches, or read non-candidate cells, must copy what they need.
+func (ws *Workspace) Problem(apps []App) (*Problem, error) {
+	for _, a := range apps {
+		if a.RatePerSec < 0 {
+			return nil, fmt.Errorf("placement: app %s has negative rate", a.ID)
+		}
+	}
+	p := ws.scratchProblem(apps)
+	p.Candidates = make([][]int, len(apps))
+	for i, a := range apps {
+		cand := ws.candidates(a)
+		p.Candidates[i] = cand
+		row := ws.rttRow(a.Source)
+		cls := ws.class(a.Model, a.RatePerSec)
+		for _, j := range cand {
+			p.LatencyMs[i][j] = row[j]
+			p.Compatible[i][j] = true
+			p.Demand[i][j] = cls.cells[j].demand
+			p.PowerW[i][j] = cls.cells[j].powerW
+		}
+	}
+	ws.last = p
+	return p, nil
+}
+
+// scratchProblem returns a problem shell over the reusable arena: the
+// previous view's touched cells are wiped (O(previous batch), not
+// O(n x m)), the backing grows as needed, and row headers are resliced.
+func (ws *Workspace) scratchProblem(apps []App) *Problem {
+	n, m := len(apps), len(ws.servers)
+	sc := &ws.scratch
+	if sc.m != m || n*m > len(sc.demand) {
+		// Width changed (AddServers) or the batch outgrew the arena:
+		// lay the backing out fresh (zeroed by allocation).
+		size := n * m
+		if size < 2*len(sc.demand) {
+			size = 2 * len(sc.demand) // amortize growth
+		}
+		sc.m = m
+		sc.demand = make([]cluster.Resources, size)
+		sc.power = make([]float64, size)
+		sc.lat = make([]float64, size)
+		sc.compat = make([]bool, size)
+		sc.rowsD, sc.rowsP, sc.rowsL, sc.rowsC = nil, nil, nil, nil
+		ws.last = nil
+	} else if ws.last != nil {
+		// Wipe exactly the cells the previous view filled — and only the
+		// Compatible gate. Every consumer (Feasible, canPlace, Evaluate,
+		// the candidate lists themselves) reaches Demand/PowerW/LatencyMs
+		// only through that gate or a candidate entry, so stale numeric
+		// cells behind a false gate are unreachable.
+		for i, cand := range ws.last.Candidates {
+			for _, j := range cand {
+				ws.last.Compatible[i][j] = false
+			}
+		}
+		ws.last = nil
+	}
+	for i := len(sc.rowsD); i < n; i++ {
+		lo, hi := i*m, (i+1)*m
+		sc.rowsD = append(sc.rowsD, sc.demand[lo:hi:hi])
+		sc.rowsP = append(sc.rowsP, sc.power[lo:hi:hi])
+		sc.rowsL = append(sc.rowsL, sc.lat[lo:hi:hi])
+		sc.rowsC = append(sc.rowsC, sc.compat[lo:hi:hi])
+	}
+	return &Problem{
+		Apps:       apps,
+		Servers:    ws.Servers(),
+		Demand:     sc.rowsD[:n],
+		PowerW:     sc.rowsP[:n],
+		LatencyMs:  sc.rowsL[:n],
+		Compatible: sc.rowsC[:n],
+	}
+}
+
+// SolveStats is the live solver telemetry a workspace-backed layer
+// exposes (the orchestrator serves it at /api/v1/placement).
+type SolveStats struct {
+	// Backend names the solver that produced the last assignment.
+	Backend string `json:"backend"`
+	// SolveMs and TotalSolveMs mirror Result.SolveTime/TotalSolveTime.
+	SolveMs      float64 `json:"solve_ms"`
+	TotalSolveMs float64 `json:"total_solve_ms"`
+	// Apps and Servers size the last solved instance.
+	Apps    int `json:"apps"`
+	Servers int `json:"servers"`
+	// Placed and Unplaced count the last batch's outcomes.
+	Placed   int `json:"placed"`
+	Unplaced int `json:"unplaced"`
+	// Candidate shortlist sizes across the batch's apps. On a dense
+	// problem (no workspace) every app's candidate set is the full
+	// server axis.
+	CandidatesMin  int     `json:"candidates_min"`
+	CandidatesMean float64 `json:"candidates_mean"`
+	CandidatesMax  int     `json:"candidates_max"`
+}
+
+// Stats summarizes a placement result against the problem it solved.
+func (r *Result) Stats(p *Problem) SolveStats {
+	st := SolveStats{
+		Backend:      r.Backend,
+		SolveMs:      float64(r.SolveTime) / float64(time.Millisecond),
+		TotalSolveMs: float64(r.TotalSolveTime) / float64(time.Millisecond),
+		Apps:         len(p.Apps),
+		Servers:      len(p.Servers),
+		Placed:       r.Metrics.Placed,
+		Unplaced:     r.Metrics.Unplaced,
+	}
+	st.CandidatesMin, st.CandidatesMean, st.CandidatesMax = p.CandidateStats()
+	return st
+}
+
+// CandidateStats reports the min/mean/max candidate-set size over the
+// problem's apps.
+func (p *Problem) CandidateStats() (min int, mean float64, max int) {
+	if len(p.Apps) == 0 {
+		return 0, 0, 0
+	}
+	min = math.MaxInt
+	var sum int
+	for i := range p.Apps {
+		n := len(p.Servers)
+		if p.Candidates != nil {
+			n = len(p.Candidates[i])
+		}
+		sum += n
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, float64(sum) / float64(len(p.Apps)), max
+}

@@ -1,0 +1,484 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+)
+
+// wsInstance is a random instance in component form so the same inputs
+// can feed both builders.
+type wsInstance struct {
+	apps    []App
+	servers []Server
+	rtt     RTTFunc
+}
+
+// randomWSInstance mirrors randomInstance's stress geometry (ring of
+// cities, mixed devices, power states, and SLOs) but returns the raw
+// components instead of a built problem.
+func randomWSInstance(rng *rand.Rand, nApps, nServers int) wsInstance {
+	cities := []string{"c0", "c1", "c2", "c3", "c4", "c5"}
+	devices := []string{energy.OrinNano.Name, energy.A2.Name, energy.GTX1080.Name}
+	servers := make([]Server, nServers)
+	for j := range servers {
+		dev := devices[rng.Intn(len(devices))]
+		d, _ := energy.DeviceByName(dev)
+		servers[j] = Server{
+			ID:         fmt.Sprintf("s%03d", j),
+			DC:         cities[rng.Intn(len(cities))],
+			Device:     dev,
+			Intensity:  10 + rng.Float64()*800,
+			BasePowerW: d.IdleW,
+			PoweredOn:  rng.Intn(3) > 0,
+			Free:       cluster.NewResources(200+rng.Float64()*800, 8192, float64(d.MemMB), 1e6),
+		}
+	}
+	models := []string{energy.ModelEfficientNetB0, energy.ModelResNet50, energy.ModelYOLOv4}
+	apps := make([]App, nApps)
+	for i := range apps {
+		apps[i] = App{
+			ID:         fmt.Sprintf("a%03d", i),
+			Model:      models[rng.Intn(len(models))],
+			Source:     cities[rng.Intn(len(cities))],
+			SLOms:      4 + rng.Float64()*30,
+			RatePerSec: 1 + rng.Float64()*6,
+		}
+	}
+	rtt := func(a, b string) float64 {
+		ia, ib := int(a[1]-'0'), int(b[1]-'0')
+		d := ia - ib
+		if d < 0 {
+			d = -d
+		}
+		if d > 3 {
+			d = 6 - d // ring distance
+		}
+		return 2 + 5*float64(d)
+	}
+	return wsInstance{apps: apps, servers: servers, rtt: rtt}
+}
+
+func allPolicies() []Policy {
+	return []Policy{CarbonAware{}, LatencyAware{}, EnergyAware{}, IntensityAware{}, NewCarbonEnergyBlend(0.5)}
+}
+
+// TestWorkspaceProblemMatchesBuild is the one-shot equivalence property:
+// for every policy and both backends, solving a workspace-built problem
+// yields assignments and metrics byte-identical to solving the dense
+// Build problem over the same inputs.
+func TestWorkspaceProblemMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		inst := randomWSInstance(rng, 1+rng.Intn(8), 2+rng.Intn(8))
+		dense, err := Build(inst.apps, inst.servers, inst.rtt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := NewWorkspace(inst.servers, inst.rtt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := ws.Problem(inst.apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Candidate cells must carry the exact dense coefficients.
+		for i := range sparse.Apps {
+			for _, j := range sparse.Candidates[i] {
+				if !dense.Compatible[i][j] {
+					t.Fatalf("trial %d: candidate (%d,%d) incompatible in dense problem", trial, i, j)
+				}
+				if sparse.Demand[i][j] != dense.Demand[i][j] ||
+					sparse.PowerW[i][j] != dense.PowerW[i][j] ||
+					sparse.LatencyMs[i][j] != dense.LatencyMs[i][j] {
+					t.Fatalf("trial %d: coefficients diverge at (%d,%d)", trial, i, j)
+				}
+			}
+			if got, want := sparse.FeasibleServers(i), dense.FeasibleServers(i); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d app %d: feasible set %v != dense %v", trial, i, got, want)
+			}
+		}
+		for _, pol := range allPolicies() {
+			for name, mk := range map[string]func() Solver{
+				"heuristic": func() Solver { return NewHeuristicSolver() },
+				"exact":     func() Solver { return NewExactSolver() },
+			} {
+				aDense, err := mk().Solve(dense, pol)
+				if err != nil {
+					t.Fatalf("trial %d %s/%s dense: %v", trial, pol.Name(), name, err)
+				}
+				aWS, err := mk().Solve(sparse, pol)
+				if err != nil {
+					t.Fatalf("trial %d %s/%s ws: %v", trial, pol.Name(), name, err)
+				}
+				if !reflect.DeepEqual(aDense, aWS) {
+					t.Fatalf("trial %d %s/%s: workspace assignment diverged:\ndense: %+v\nws:    %+v",
+						trial, pol.Name(), name, aDense, aWS)
+				}
+				if md, mw := dense.Evaluate(aDense), sparse.Evaluate(aWS); md != mw {
+					t.Fatalf("trial %d %s/%s: metrics diverged: %+v != %+v", trial, pol.Name(), name, md, mw)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceIncrementalEquivalence is the multi-epoch property from
+// the issue: N epochs of workspace-incremental placement — commit,
+// intensity updates, re-solve — produce assignments and metrics
+// byte-identical to rebuilding the dense problem from scratch each epoch.
+func TestWorkspaceIncrementalEquivalence(t *testing.T) {
+	for _, pol := range allPolicies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			inst := randomWSInstance(rng, 0, 10)
+			ws, err := NewWorkspace(inst.servers, inst.rtt, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The rebuild path tracks server state by hand.
+			servers := append([]Server(nil), inst.servers...)
+			solver := NewHeuristicSolver()
+			const epochs = 6
+			for epoch := 0; epoch < epochs; epoch++ {
+				// Carbon clock tick: fresh intensities on both paths.
+				for j := range servers {
+					ci := 10 + rng.Float64()*800
+					servers[j].Intensity = ci
+					ws.UpdateIntensity(j, ci)
+				}
+				batch := randomWSInstance(rng, 2+rng.Intn(4), 0).apps
+				for i := range batch {
+					batch[i].ID = fmt.Sprintf("e%d-%s", epoch, batch[i].ID)
+				}
+
+				dense, err := Build(batch, servers, inst.rtt, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aDense, err := solver.Solve(dense, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				sparse, err := ws.Problem(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aWS, err := solver.Solve(sparse, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !reflect.DeepEqual(aDense, aWS) {
+					t.Fatalf("epoch %d: assignments diverged:\ndense: %+v\nws:    %+v", epoch, aDense, aWS)
+				}
+				if md, mw := dense.Evaluate(aDense), sparse.Evaluate(aWS); md != mw {
+					t.Fatalf("epoch %d: metrics diverged: %+v != %+v", epoch, md, mw)
+				}
+
+				// Commit on both paths.
+				if err := ws.CommitAssignment(sparse, aWS); err != nil {
+					t.Fatal(err)
+				}
+				for i, j := range aDense.ServerOf {
+					if j < 0 {
+						continue
+					}
+					servers[j].Free = servers[j].Free.Sub(dense.Demand[i][j])
+					servers[j].PoweredOn = true
+				}
+				for j, srv := range servers {
+					got := ws.Server(j)
+					if got.Free != srv.Free || got.PoweredOn != srv.PoweredOn {
+						t.Fatalf("epoch %d: server %d state diverged: ws %+v vs rebuild %+v", epoch, j, got, srv)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWorkspaceCommitReleaseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := randomWSInstance(rng, 5, 6)
+	ws, err := NewWorkspace(inst.servers, inst.rtt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ws.Servers()
+	p, err := ws.Problem(inst.apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewHeuristicSolver().Solve(p, CarbonAware{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.CommitAssignment(p, a); err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	for i, j := range a.ServerOf {
+		if j < 0 {
+			continue
+		}
+		placed++
+		if got := ws.Server(j).Free; got == before[j].Free {
+			t.Fatalf("server %d free capacity unchanged after commit", j)
+		}
+		if err := ws.ReleaseApp(p.Apps[i].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if placed == 0 {
+		t.Fatal("nothing placed; fixture too tight")
+	}
+	for j := range before {
+		got := ws.Server(j).Free
+		for _, k := range cluster.ResourceKinds() {
+			if math.Abs(got[k]-before[j].Free[k]) > 1e-6 {
+				t.Fatalf("server %d free %v != original %v after releasing all apps", j, got, before[j].Free)
+			}
+		}
+	}
+	if err := ws.ReleaseApp("no-such-app"); err == nil {
+		t.Fatal("releasing unknown app succeeded")
+	}
+	// Double commit of the same app ID must be rejected.
+	if err := ws.CommitAssignment(p, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.CommitAssignment(p, a); err == nil {
+		t.Fatal("double commit accepted")
+	}
+}
+
+func TestWorkspaceAddServersExtendsShortlists(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := randomWSInstance(rng, 4, 4)
+	ws, err := NewWorkspace(inst.servers, inst.rtt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the shortlists at the small size.
+	if _, err := ws.Problem(inst.apps); err != nil {
+		t.Fatal(err)
+	}
+	more := randomWSInstance(rng, 0, 6).servers
+	for j := range more {
+		more[j].ID = fmt.Sprintf("added-%d", j)
+	}
+	if err := ws.AddServers(more...); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.AddServers(Server{ID: inst.servers[0].ID}); err == nil {
+		t.Fatal("duplicate server ID accepted")
+	}
+	all := ws.Servers()
+	if len(all) != 10 {
+		t.Fatalf("server count %d, want 10", len(all))
+	}
+	dense, err := Build(inst.apps, all, inst.rtt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := ws.Problem(inst.apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range allPolicies() {
+		aDense, err := NewHeuristicSolver().Solve(dense, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aWS, err := NewHeuristicSolver().Solve(sparse, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(aDense, aWS) {
+			t.Fatalf("%s: post-AddServers assignment diverged", pol.Name())
+		}
+	}
+}
+
+func TestWorkspaceCandidateStats(t *testing.T) {
+	p := buildFixture(t, 3, 10) // dense: every server is a candidate
+	min, mean, max := p.CandidateStats()
+	if min != 3 || mean != 3 || max != 3 {
+		t.Fatalf("dense candidate stats = %d/%.1f/%d, want 3/3.0/3", min, mean, max)
+	}
+	ws, err := NewWorkspace(fixtureServers(), fixtureRTT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ws.Problem(fixtureApps(3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 ms SLO from "local": s-far (18 ms) is out of every shortlist.
+	min, mean, max = sp.CandidateStats()
+	if min != 2 || max != 2 || mean != 2 {
+		t.Fatalf("shortlist stats = %d/%.1f/%d, want 2/2.0/2", min, mean, max)
+	}
+	for i := range sp.Apps {
+		for _, j := range sp.Candidates[i] {
+			if sp.Servers[j].ID == "s-far" {
+				t.Fatal("latency-infeasible server in shortlist")
+			}
+		}
+	}
+}
+
+func TestWorkspaceRejectsBadInput(t *testing.T) {
+	if _, err := NewWorkspace(fixtureServers(), nil, nil); err == nil {
+		t.Fatal("nil RTT accepted")
+	}
+	dup := append(fixtureServers(), fixtureServers()[0])
+	if _, err := NewWorkspace(dup, fixtureRTT, nil); err == nil {
+		t.Fatal("duplicate server IDs accepted")
+	}
+	ws, err := NewWorkspace(fixtureServers(), fixtureRTT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := fixtureApps(1, 20)
+	apps[0].RatePerSec = -1
+	if _, err := ws.Problem(apps); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// TestHeuristicWarmStartIdempotent: re-solving from a converged solution
+// must return that solution unchanged — a warm start at a local optimum
+// is a fixpoint of the local search.
+func TestHeuristicWarmStartIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		inst := randomWSInstance(rng, 2+rng.Intn(6), 3+rng.Intn(5))
+		p, err := Build(inst.apps, inst.servers, inst.rtt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver := NewHeuristicSolver()
+		cold, err := solver.Solve(p, CarbonAware{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := solver.SolveWarm(p, CarbonAware{}, cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("trial %d: warm re-solve moved a converged solution:\ncold: %+v\nwarm: %+v", trial, cold, warm)
+		}
+		if err := p.CheckFeasible(warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExactWarmStartMatchesOptimum: warm-starting the MILP with any
+// assignment never changes the optimal objective, and a warm start from
+// the heuristic's solution still proves optimality.
+func TestExactWarmStartMatchesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomWSInstance(rng, 1+rng.Intn(5), 2+rng.Intn(5))
+		p, err := Build(inst.apps, inst.servers, inst.rtt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewExactSolver().Solve(p, CarbonAware{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heur, err := NewHeuristicSolver().Solve(p, CarbonAware{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := NewExactSolver().SolveWarm(p, CarbonAware{}, heur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckFeasible(warm); err != nil {
+			t.Fatalf("trial %d: warm exact infeasible: %v", trial, err)
+		}
+		mc, mw := p.Evaluate(cold), p.Evaluate(warm)
+		if mc.Placed == mw.Placed && math.Abs(mc.CarbonGPerHour-mw.CarbonGPerHour) > 1e-6 {
+			t.Fatalf("trial %d: warm exact objective %.9f != cold %.9f", trial, mw.CarbonGPerHour, mc.CarbonGPerHour)
+		}
+	}
+}
+
+// TestWorkspacePlacerIntegration routes a workspace problem through the
+// Placer and checks the solver stats read out for the /api/v1/placement
+// surface.
+func TestWorkspacePlacerIntegration(t *testing.T) {
+	ws, err := NewWorkspace(fixtureServers(), fixtureRTT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ws.Problem(fixtureApps(3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewPlacer(CarbonAware{}).Place(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.CommitAssignment(p, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats(p)
+	if st.Backend != res.Backend || st.Apps != 3 || st.Servers != 3 {
+		t.Fatalf("stats mismatch: %+v", st)
+	}
+	if st.CandidatesMax != 2 || st.Placed != 3 {
+		t.Fatalf("stats mismatch: %+v", st)
+	}
+	if st.SolveMs < 0 || st.TotalSolveMs < st.SolveMs {
+		t.Fatalf("timing stats mismatch: %+v", st)
+	}
+}
+
+// TestWorkspaceMemoBounded feeds the workspace far more distinct app
+// classes than the memo cap (unique rates — the long-running-service
+// leak shape) and checks the tables stay bounded while solves keep
+// working.
+func TestWorkspaceMemoBounded(t *testing.T) {
+	ws, err := NewWorkspace(fixtureServers(), fixtureRTT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		apps := make([]App, 2000)
+		for i := range apps {
+			apps[i] = App{
+				ID:         fmt.Sprintf("b%d-%d", k, i),
+				Model:      energy.ModelResNet50,
+				Source:     "local",
+				SLOms:      20,
+				RatePerSec: 0.001 * float64(k*2000+i+1),
+			}
+		}
+		p, err := ws.Problem(apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewHeuristicSolver().Solve(p, CarbonAware{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ws.classes) > maxMemoEntries || len(ws.cands) > maxMemoEntries || len(ws.latOK) > maxMemoEntries {
+		t.Fatalf("memo tables exceed cap: classes=%d cands=%d latOK=%d (cap %d)",
+			len(ws.classes), len(ws.cands), len(ws.latOK), maxMemoEntries)
+	}
+}

@@ -103,6 +103,13 @@ type Config struct {
 	// (~0.2 J/MB for wide-area transfer), charged at the destination
 	// zone's carbon intensity.
 	MigrationJPerMB float64
+	// WarmRedeploy seeds each redeploy solve with the identity placement
+	// (every live app on its current server) instead of greedy
+	// construction from scratch, so local search pays only for what
+	// moved. Off by default: the warm-seeded local optimum can differ
+	// from the cold one, and the paper's redeploy results are produced
+	// cold.
+	WarmRedeploy bool
 	// Traffic, when non-nil, enables the request-level traffic-driven
 	// mode: an open-loop per-site request stream (Traffic.Scenario's
 	// temporal shape, demand-weighted across sites) is generated every

@@ -56,6 +56,19 @@ type Engine struct {
 	horizon int
 	solver  *placement.HeuristicSolver
 
+	// ws is the persistent placement workspace: built once per run, it
+	// carries the memoized profile/RTT tables and per-app candidate
+	// shortlists across every batch and the redeploy path. Server state
+	// is synced into it from the engine's aggregate site servers before
+	// each solve; intensities update on the carbon clock.
+	ws      *placement.Workspace
+	srvIdx  map[srvKey]int     // (site, device) -> server index
+	fcCache map[string]float64 // zone -> mean forecast, valid at fcAt
+	fcAt    time.Time
+	// rebuild forces the legacy dense placement.Build path on every
+	// batch (test hook for the workspace-vs-rebuild equivalence suite).
+	rebuild bool
+
 	res        *Result
 	live       []*liveApp
 	backlog    []placement.App
@@ -158,6 +171,31 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 		MonthlyPlacements: metrics.NewCounter(),
 	}
 	e.start = w.Traces.Start.Add(time.Duration(cfg.StartHour) * time.Hour)
+
+	// Persistent placement workspace over the site servers. Intensity and
+	// free-capacity views are synced per batch; the expensive parts
+	// (profile cells, RTT rows, candidate shortlists) live for the run.
+	pservers := make([]placement.Server, len(e.servers))
+	for j, srv := range e.servers {
+		pservers[j] = placement.Server{
+			ID:         fmt.Sprintf("srv-%d", j),
+			DC:         sites[srv.site].City,
+			Device:     srv.device.Name,
+			BasePowerW: srv.device.IdleW,
+			PoweredOn:  srv.on,
+			Free:       srv.cap,
+		}
+	}
+	ws, err := placement.NewWorkspace(pservers, e.rttOracle, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.ws = ws
+	e.srvIdx = make(map[srvKey]int, len(e.servers))
+	for j, srv := range e.servers {
+		e.srvIdx[srvKey{srv.site, srv.device.Name}] = j
+	}
+	e.fcCache = map[string]float64{}
 
 	if cfg.Traffic != nil {
 		if err := e.initTraffic(); err != nil {
@@ -327,23 +365,83 @@ func (e *Engine) drainBatch(epoch int) ([]placement.App, []int) {
 	return nil, nil
 }
 
-// stepPlacement solves Algorithm 1 on one batch and commits the placements.
-func (e *Engine) stepPlacement(apps []placement.App, srcIdx []int, now time.Time, epoch, month int) error {
-	pservers, err := e.serverViews(now)
-	if err != nil {
-		return err
+// srvKey addresses an aggregate site server by (site, device).
+type srvKey struct {
+	site   int
+	device string
+}
+
+// meanForecast memoizes the per-zone mean forecast within one epoch: the
+// forecaster is deterministic, and an epoch can need the same zone several
+// times (multi-device sites, redeploy plus placement in one epoch).
+func (e *Engine) meanForecast(zone string, now time.Time) (float64, error) {
+	if !now.Equal(e.fcAt) {
+		e.fcCache = map[string]float64{}
+		e.fcAt = now
 	}
-	prob, err := placement.Build(apps, pservers, e.rttOracle, nil)
+	if v, ok := e.fcCache[zone]; ok {
+		return v, nil
+	}
+	v, err := e.svc.MeanForecast(zone, now, e.horizon)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	e.fcCache[zone] = v
+	return v, nil
+}
+
+// buildProblem assembles the batch's placement problem against the
+// current server state: through the persistent workspace (intensity and
+// capacity synced, shortlist-backed matrices), or through the legacy
+// dense placement.Build when the rebuild test hook is set.
+func (e *Engine) buildProblem(apps []placement.App, now time.Time) (*placement.Problem, error) {
+	if e.rebuild {
+		pservers, err := e.serverViews(now)
+		if err != nil {
+			return nil, err
+		}
+		return placement.Build(apps, pservers, e.rttOracle, nil)
+	}
+	for j, srv := range e.servers {
+		mean, err := e.meanForecast(e.sites[srv.site].ZoneID, now)
+		if err != nil {
+			return nil, err
+		}
+		e.ws.UpdateIntensity(j, mean)
+		e.ws.SetServerState(j, srv.cap.Sub(srv.used), srv.on)
+	}
+	return e.ws.Problem(apps)
+}
+
+// solveBatch runs one Algorithm 1 invocation — problem assembly, solve,
+// telemetry — for both the arrival and redeploy paths. A non-nil warm
+// assignment seeds the solver from a previous solution.
+func (e *Engine) solveBatch(apps []placement.App, now time.Time, warm *placement.Assignment) (*placement.Problem, *placement.Assignment, error) {
+	prob, err := e.buildProblem(apps, now)
+	if err != nil {
+		return nil, nil, err
 	}
 	t0 := time.Now()
-	asg, err := e.solver.Solve(prob, e.cfg.Policy)
+	var asg *placement.Assignment
+	if warm != nil {
+		asg, err = e.solver.SolveWarm(prob, e.cfg.Policy, warm)
+	} else {
+		asg, err = e.solver.Solve(prob, e.cfg.Policy)
+	}
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	e.res.SolveTime += time.Since(t0)
 	e.res.Batches++
+	return prob, asg, nil
+}
+
+// stepPlacement solves Algorithm 1 on one batch and commits the placements.
+func (e *Engine) stepPlacement(apps []placement.App, srcIdx []int, now time.Time, epoch, month int) error {
+	prob, asg, err := e.solveBatch(apps, now, nil)
+	if err != nil {
+		return err
+	}
 
 	for i, j := range asg.ServerOf {
 		if j < 0 {
@@ -489,12 +587,13 @@ func (e *Engine) stepAccrual(now time.Time, month int) error {
 	return nil
 }
 
-// serverViews builds the placement view of every site server at the given
-// instant (forecast intensity, free capacity, power state).
+// serverViews builds the dense placement view of every site server at the
+// given instant (forecast intensity, free capacity, power state) — the
+// legacy rebuild path, kept for the workspace equivalence tests.
 func (e *Engine) serverViews(now time.Time) ([]placement.Server, error) {
 	pservers := make([]placement.Server, len(e.servers))
 	for j, srv := range e.servers {
-		mean, err := e.svc.MeanForecast(e.sites[srv.site].ZoneID, now, e.horizon)
+		mean, err := e.meanForecast(e.sites[srv.site].ZoneID, now)
 		if err != nil {
 			return nil, err
 		}
@@ -546,21 +645,22 @@ func (e *Engine) redeploy(now time.Time) error {
 			RatePerSec: e.cfg.RatePerSec,
 		}
 	}
-	pservers, err := e.serverViews(now)
+	// Optional warm start (§7 extension knob): seed the solver with the
+	// identity placement — each live app on its current server — so local
+	// search only pays for what actually moved. Off by default: the
+	// warm-seeded local optimum can differ from the cold one, and the
+	// paper's redeploy figures are produced cold.
+	var warm *placement.Assignment
+	if e.cfg.WarmRedeploy {
+		warm = &placement.Assignment{ServerOf: make([]int, len(e.live))}
+		for i := range e.live {
+			warm.ServerOf[i] = e.srvIdx[srvKey{prevs[i].site, prevs[i].device}]
+		}
+	}
+	prob, asg, err := e.solveBatch(apps, now, warm)
 	if err != nil {
 		return err
 	}
-	prob, err := placement.Build(apps, pservers, e.rttOracle, nil)
-	if err != nil {
-		return err
-	}
-	t0 := time.Now()
-	asg, err := e.solver.Solve(prob, e.cfg.Policy)
-	if err != nil {
-		return err
-	}
-	e.res.SolveTime += time.Since(t0)
-	e.res.Batches++
 
 	restore := func(i int) {
 		a := e.live[i]

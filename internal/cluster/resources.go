@@ -70,6 +70,25 @@ func (r Resources) Sub(o Resources) Resources {
 	return r
 }
 
+// Scale returns r with every dimension multiplied by f (capacity
+// degradation and restoration).
+func (r Resources) Scale(f float64) Resources {
+	for k := range r {
+		r[k] *= f
+	}
+	return r
+}
+
+// ClampNonNegative returns r with negative dimensions raised to zero.
+func (r Resources) ClampNonNegative() Resources {
+	for k := range r {
+		if r[k] < 0 {
+			r[k] = 0
+		}
+	}
+	return r
+}
+
 // Fits reports whether r fits within capacity c in every dimension.
 func (r Resources) Fits(c Resources) bool {
 	for k := range r {

@@ -1,0 +1,106 @@
+// Package events provides the deterministic event timeline the simulator
+// and orchestrator schedule their world dynamics on: carbon ticks, traffic
+// slices, arrival batches, redeploy triggers, and scripted fault scenarios
+// all become Events on a Timeline instead of arms of a hard-coded loop.
+//
+// # Determinism contract
+//
+// The timeline is a pure function of its Schedule calls. Events are
+// dispatched in ascending (At, Seq) order, where Seq is the monotonically
+// increasing schedule sequence number — two events at the same instant
+// fire in the order they were scheduled, never in heap or map order. The
+// package reads no wall clock and uses no randomness: given the same
+// sequence of Schedule calls and the same simulated clock, every replay
+// dispatches the identical event sequence, which is what lets the
+// simulator's timeline mode reproduce the fixed epoch loop byte for byte
+// and lets serial and parallel sweeps stay bit-identical.
+package events
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Apply is an event's action, invoked with the simulated instant the
+// event fires at. Apply functions must not read the wall clock; any
+// state they need should be captured at schedule time or derived from at.
+type Apply func(at time.Time) error
+
+// Event is one scheduled action on a timeline.
+type Event struct {
+	// At is the simulated instant the event is due.
+	At time.Time
+	// Seq is the schedule sequence number: the total order tie-break for
+	// events due at the same instant.
+	Seq uint64
+	// Kind labels the event for telemetry and debugging.
+	Kind string
+	// Apply performs the event.
+	Apply Apply
+}
+
+// Timeline is a deterministic priority-queue scheduler ordered by
+// (At, Seq). The zero value is ready to use. A Timeline is not safe for
+// concurrent use; owners that share one across goroutines (the
+// orchestrator) must hold their own lock.
+type Timeline struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Schedule enqueues an event and returns its sequence number.
+func (t *Timeline) Schedule(at time.Time, kind string, fn Apply) uint64 {
+	seq := t.seq
+	t.seq++
+	heap.Push(&t.h, Event{At: at, Seq: seq, Kind: kind, Apply: fn})
+	return seq
+}
+
+// Len reports the number of pending events.
+func (t *Timeline) Len() int { return len(t.h) }
+
+// NextAt returns the due instant of the earliest pending event; ok is
+// false when the timeline is empty.
+func (t *Timeline) NextAt() (at time.Time, ok bool) {
+	if len(t.h) == 0 {
+		return time.Time{}, false
+	}
+	return t.h[0].At, true
+}
+
+// PopDue removes and returns the earliest event due at or before now, in
+// (At, Seq) order; ok is false when no pending event is due. The typical
+// dispatch loop is:
+//
+//	for ev, ok := tl.PopDue(now); ok; ev, ok = tl.PopDue(now) {
+//		if err := ev.Apply(now); err != nil { ... }
+//	}
+func (t *Timeline) PopDue(now time.Time) (ev Event, ok bool) {
+	if len(t.h) == 0 || t.h[0].At.After(now) {
+		return Event{}, false
+	}
+	return heap.Pop(&t.h).(Event), true
+}
+
+// eventHeap orders events by (At, Seq).
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].At.Equal(h[j].At) {
+		return h[i].At.Before(h[j].At)
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

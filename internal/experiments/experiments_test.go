@@ -478,7 +478,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"table1", "overhead", "ablation-solver", "ablation-forecast",
-		"ablation-batch", "ablation-activation", "traffic"}
+		"ablation-batch", "ablation-activation", "traffic", "faults"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true
@@ -490,6 +490,108 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, err := Run(testSuite(t), "no-such-exp"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestMatchIDs(t *testing.T) {
+	got, err := MatchIDs("fig1?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 { // fig10 .. fig17
+		t.Errorf("fig1? matched %v", got)
+	}
+	if got, err := MatchIDs("faults"); err != nil || len(got) != 1 {
+		t.Errorf("faults matched %v (%v)", got, err)
+	}
+	if _, err := MatchIDs("no-such-*"); err == nil {
+		t.Error("pattern matching nothing accepted")
+	}
+	if _, err := MatchIDs("[bad"); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestFaultsFamily(t *testing.T) {
+	// A week is long enough for every profile's fault window to open and
+	// close (offsets scale with the span).
+	s := testSuite(t)
+	defer func(hours int) { s.CDNHours = hours }(s.CDNHours)
+	s.CDNHours = 24 * 7
+	r, err := s.Faults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 20 {
+		t.Fatalf("rows = %d, want 2 regions x 5 profiles x 2 policies", len(r.Rows))
+	}
+	cell := func(region, profile, policy string) FaultsRow {
+		for _, row := range r.Rows {
+			if row.Region == region && row.Profile == profile && row.Policy == policy {
+				return row
+			}
+		}
+		t.Fatalf("missing cell %s/%s/%s", region, profile, policy)
+		return FaultsRow{}
+	}
+	for _, region := range []string{"US", "Europe"} {
+		for _, policy := range []string{"CarbonEdge", "Latency-aware"} {
+			// Crashing the busiest site must evict and re-place apps; the
+			// next redeploy/placement pass absorbs them (none lost: the
+			// rest of the fleet has capacity).
+			crash := cell(region, "site-crash", policy)
+			if crash.Evictions == 0 {
+				t.Errorf("%s/%s: site crash evicted nothing", region, policy)
+			}
+			if crash.Replaced+crash.Lost != crash.Evictions {
+				t.Errorf("%s/%s: evictions %d != replaced %d + lost %d",
+					region, policy, crash.Evictions, crash.Replaced, crash.Lost)
+			}
+			if crash.Replaced == 0 {
+				t.Errorf("%s/%s: no evicted app recovered", region, policy)
+			}
+			if crash.OutageEpochs == 0 {
+				t.Errorf("%s/%s: no outage epochs recorded", region, policy)
+			}
+			// A zone outage is at least as disruptive as nothing: outage
+			// telemetry must be present.
+			if cell(region, "zone-outage", policy).OutageEpochs == 0 {
+				t.Errorf("%s/%s: zone outage recorded no outage epochs", region, policy)
+			}
+			if cell(region, "flash-fleet", policy).ScaleOuts != 2 {
+				t.Errorf("%s/%s: flash fleet added %d servers, want 2",
+					region, policy, cell(region, "flash-fleet", policy).ScaleOuts)
+			}
+		}
+	}
+	for _, row := range r.Rows {
+		if row.SLOPct < 0 || row.SLOPct > 100 {
+			t.Errorf("%s/%s/%s: SLO %.1f%% out of range", row.Region, row.Profile, row.Policy, row.SLOPct)
+		}
+	}
+	if !strings.Contains(r.String(), "Faults") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFaultsDeterministicAcrossParallelism(t *testing.T) {
+	// The faults family must render bit-identically whether the grid runs
+	// serially or on a worker pool (run under -race in CI).
+	s := testSuite(t)
+	defer func(hours int) { s.Parallel, s.CDNHours = 0, hours }(s.CDNHours)
+	s.CDNHours = 24 * 5
+	s.Parallel = 1
+	serial, err := s.Faults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallel = 4
+	parallel, err := s.Faults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("serial and parallel fault sweeps diverged:\nserial:\n%s\nparallel:\n%s", serial, parallel)
 	}
 }
 

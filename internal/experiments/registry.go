@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"path"
 	"sort"
 	"time"
 )
@@ -36,6 +37,7 @@ var registry = map[string]Runner{
 	"ablation-activation": func(s *Suite) (fmt.Stringer, error) { return s.AblationActivation() },
 	"ext-redeploy":        func(s *Suite) (fmt.Stringer, error) { return s.ExtRedeploy() },
 	"traffic":             func(s *Suite) (fmt.Stringer, error) { return s.Traffic() },
+	"faults":              func(s *Suite) (fmt.Stringer, error) { return s.Faults() },
 }
 
 // IDs returns all registered experiment IDs, sorted.
@@ -46,6 +48,26 @@ func IDs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// MatchIDs returns the registered experiment IDs matching a path-style
+// glob (e.g. "fig1*", "ablation-*", "faults"), sorted. An invalid
+// pattern or a pattern matching nothing is an error.
+func MatchIDs(pattern string) ([]string, error) {
+	var out []string
+	for _, id := range IDs() {
+		ok, err := path.Match(pattern, id)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad pattern %q: %w", pattern, err)
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no experiment matches %q (have %v)", pattern, IDs())
+	}
+	return out, nil
 }
 
 // Run executes the experiment with the given ID and returns its printable

@@ -91,12 +91,12 @@ func (s *QuantileSketch) indexOf(v float64) int {
 }
 
 // Quantile reports the value at quantile q in [0, 1] within the sketch's
-// relative error, or NaN when the sketch is empty. Results are clamped to
-// the exact observed [min, max].
+// relative error, or NaN when the sketch is empty or q is NaN. Results
+// are clamped to the exact observed [min, max].
 func (s *QuantileSketch) Quantile(q float64) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.count == 0 {
+	if s.count == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	if q < 0 {
@@ -170,9 +170,23 @@ func (s *QuantileSketch) Max() float64 {
 }
 
 // Merge folds other into s. Both sketches must have the same resolution
-// (always true for sketches from NewQuantileSketch).
+// (always true for sketches from NewQuantileSketch). Merging an empty
+// sketch is a no-op (min/max and buckets are untouched); merging a sketch
+// into itself doubles its contents.
 func (s *QuantileSketch) Merge(other *QuantileSketch) error {
 	if other == nil {
+		return nil
+	}
+	if other == s {
+		// Self-merge: double under a single lock — the two-lock path
+		// below would deadlock on the shared mutex.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i := range s.buckets {
+			s.buckets[i] *= 2
+		}
+		s.count *= 2
+		s.sum *= 2
 		return nil
 	}
 	// Lock ordering: take the sketches in a fixed (pointer-independent)

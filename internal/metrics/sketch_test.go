@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 )
 
 // exactQuantile computes the true quantile by sorting (the reference the
@@ -202,5 +203,134 @@ func TestSketchConcurrentAdds(t *testing.T) {
 		if s.Quantile(q) != serial.Quantile(q) {
 			t.Errorf("q=%.2f: concurrent %.6f != serial %.6f", q, s.Quantile(q), serial.Quantile(q))
 		}
+	}
+}
+
+// TestSketchEmptyEdgeCases table-tests the zero-count corners: quantiles
+// of an empty sketch, merging an empty sketch in either direction, and
+// bad quantile arguments must neither panic nor skew buckets.
+func TestSketchEmptyEdgeCases(t *testing.T) {
+	filled := func() *QuantileSketch {
+		s := NewQuantileSketch()
+		for _, v := range []float64{1, 2, 3, 4, 5} {
+			s.Add(v)
+		}
+		return s
+	}
+	cases := []struct {
+		name  string
+		build func() *QuantileSketch
+		// want describes the sketch after the scenario: count, and the
+		// expected p50 (NaN = sketch must report empty).
+		count int64
+		p50   float64
+	}{
+		{"empty quantile", NewQuantileSketch, 0, math.NaN()},
+		{"empty merged into empty", func() *QuantileSketch {
+			s := NewQuantileSketch()
+			if err := s.Merge(NewQuantileSketch()); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, 0, math.NaN()},
+		{"empty merged into filled", func() *QuantileSketch {
+			s := filled()
+			if err := s.Merge(NewQuantileSketch()); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, 5, 3},
+		{"filled merged into empty", func() *QuantileSketch {
+			s := NewQuantileSketch()
+			if err := s.Merge(filled()); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, 5, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.build()
+			if got := s.Count(); got != tc.count {
+				t.Errorf("count = %d, want %d", got, tc.count)
+			}
+			got := s.Quantile(0.5)
+			if math.IsNaN(tc.p50) {
+				if !math.IsNaN(got) {
+					t.Errorf("p50 = %v, want NaN", got)
+				}
+				for _, m := range []float64{s.Mean(), s.Min(), s.Max()} {
+					if !math.IsNaN(m) {
+						t.Errorf("empty sketch stat = %v, want NaN", m)
+					}
+				}
+				return
+			}
+			if math.Abs(got-tc.p50)/tc.p50 > relErr {
+				t.Errorf("p50 = %v, want ~%v", got, tc.p50)
+			}
+			// Min/max must be exact — an empty merge must not disturb them.
+			if s.Min() != 1 || s.Max() != 5 {
+				t.Errorf("min/max = %v/%v, want 1/5", s.Min(), s.Max())
+			}
+		})
+	}
+}
+
+func TestSketchMergeEmptyKeepsMinMax(t *testing.T) {
+	// Regression shape: an empty sketch carries zero min/max fields;
+	// merging it must not pull the target's min to 0 or touch buckets.
+	s := NewQuantileSketch()
+	s.Add(10)
+	s.Add(20)
+	if err := s.Merge(NewQuantileSketch()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Min() != 10 || s.Max() != 20 || s.Count() != 2 {
+		t.Errorf("merge of empty skewed the sketch: min=%v max=%v n=%d", s.Min(), s.Max(), s.Count())
+	}
+	if got := s.Sum(); got != 30 {
+		t.Errorf("sum = %v, want 30", got)
+	}
+}
+
+func TestSketchSelfMergeDoubles(t *testing.T) {
+	// Merging a sketch into itself must not deadlock on its own mutex;
+	// it doubles the multiset (min/max/quantiles unchanged).
+	s := NewQuantileSketch()
+	for _, v := range []float64{2, 4, 8} {
+		s.Add(v)
+	}
+	p50 := s.Quantile(0.5)
+	done := make(chan error, 1)
+	go func() { done <- s.Merge(s) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self-merge deadlocked")
+	}
+	if s.Count() != 6 || s.Sum() != 28 {
+		t.Errorf("self-merge: n=%d sum=%v, want 6/28", s.Count(), s.Sum())
+	}
+	if s.Min() != 2 || s.Max() != 8 || s.Quantile(0.5) != p50 {
+		t.Errorf("self-merge moved the distribution: min=%v max=%v p50=%v", s.Min(), s.Max(), s.Quantile(0.5))
+	}
+}
+
+func TestSketchQuantileArgumentClamping(t *testing.T) {
+	s := NewQuantileSketch()
+	s.Add(1)
+	s.Add(100)
+	if got := s.Quantile(-0.5); got != 1 {
+		t.Errorf("q<0 = %v, want exact min", got)
+	}
+	if got := s.Quantile(1.5); got != 100 {
+		t.Errorf("q>1 = %v, want exact max", got)
+	}
+	if got := s.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("q=NaN = %v, want NaN", got)
 	}
 }

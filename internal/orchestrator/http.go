@@ -2,9 +2,12 @@ package orchestrator
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
+	"repro/internal/events"
 	"repro/internal/placement"
 	"repro/internal/router"
 )
@@ -20,6 +23,8 @@ import (
 //	GET    /api/v1/metrics            carbon/energy counters
 //	GET    /api/v1/traffic            live per-deployment SLO/latency stats
 //	GET    /api/v1/placement          live solver stats from the workspace
+//	POST   /api/v1/faults             inject a fault scenario (script or single fault)
+//	GET    /api/v1/faults             live fault-injection status
 func (o *Orchestrator) API() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/deployments", o.handleDeployments)
@@ -28,6 +33,7 @@ func (o *Orchestrator) API() http.Handler {
 	mux.HandleFunc("/api/v1/metrics", o.handleMetrics)
 	mux.HandleFunc("/api/v1/traffic", o.handleTraffic)
 	mux.HandleFunc("/api/v1/placement", o.handlePlacement)
+	mux.HandleFunc("/api/v1/faults", o.handleFaults)
 	return mux
 }
 
@@ -167,6 +173,87 @@ func (o *Orchestrator) handlePlacement(w http.ResponseWriter, r *http.Request) {
 		Batches:    batches,
 		SolveStats: stats,
 	})
+}
+
+// faultRequest is the POST /faults payload: either a whole scenario in
+// the declarative script syntax, or one fault spelled out as fields
+// (durations are Go duration strings, e.g. "30m", "24h"). Offsets are
+// relative to the orchestrator's current clock.
+type faultRequest struct {
+	// Script is a multi-line fault scenario ("at 1h crash site=Miami").
+	Script string `json:"script,omitempty"`
+	// Single-fault fields, used when Script is empty.
+	At       string  `json:"at,omitempty"`
+	Kind     string  `json:"kind,omitempty"`
+	Site     string  `json:"site,omitempty"`
+	Device   string  `json:"device,omitempty"`
+	Zone     string  `json:"zone,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+	For      string  `json:"for,omitempty"`
+	Capacity float64 `json:"capacity,omitempty"`
+	Count    int     `json:"count,omitempty"`
+}
+
+// script converts the request into a validated fault script.
+func (fr *faultRequest) script() (*events.FaultScript, error) {
+	if fr.Script != "" {
+		return events.ParseFaultScript(fr.Script)
+	}
+	f := events.Fault{
+		Kind: events.FaultKind(fr.Kind), Site: fr.Site, Device: fr.Device,
+		Zone: fr.Zone, Factor: fr.Factor, CapacityMilli: fr.Capacity, Count: fr.Count,
+	}
+	if fr.At != "" {
+		d, err := time.ParseDuration(fr.At)
+		if err != nil {
+			return nil, fmt.Errorf("bad at %q: %v", fr.At, err)
+		}
+		f.At = d
+	}
+	if fr.For != "" {
+		d, err := time.ParseDuration(fr.For)
+		if err != nil {
+			return nil, fmt.Errorf("bad for %q: %v", fr.For, err)
+		}
+		f.For = d
+	}
+	s := &events.FaultScript{Faults: []events.Fault{f}}
+	return s, s.Validate()
+}
+
+// faultResponse acknowledges an injected scenario.
+type faultResponse struct {
+	Scheduled []string    `json:"scheduled"`
+	Status    FaultStatus `json:"status"`
+}
+
+func (o *Orchestrator) handleFaults(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, o.FaultStatus())
+	case http.MethodPost:
+		var req faultRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		script, err := req.script()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		if err := o.InjectScript(script); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		resp := faultResponse{Status: o.FaultStatus()}
+		for _, f := range script.Expand() {
+			resp.Scheduled = append(resp.Scheduled, f.String())
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
 }
 
 func (o *Orchestrator) handleTraffic(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/carbon"
 	"repro/internal/cluster"
 	"repro/internal/energy"
+	"repro/internal/events"
 	"repro/internal/latency"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -61,6 +62,22 @@ type Orchestrator struct {
 	overloadTicks int64
 	lastOverload  time.Time
 	onOverload    func(now time.Time, dropped int64)
+
+	// Live fault injection (InjectFault / POST /api/v1/faults): scheduled
+	// world-dynamics events consumed by Tick. Crashed servers and
+	// degradation factors overlay the placement view in syncWorkspace;
+	// forecast skews multiply the per-zone forecast.
+	faults         *events.Timeline
+	downServers    map[string]bool
+	degraded       map[string]float64 // server ID -> capacity factor
+	fcSkew         map[string]float64 // zone -> forecast factor
+	faultsApplied  int
+	faultEvictions int
+	lastFault      time.Time
+	lastFaultKind  string
+	evictedNow     []string
+	flashSeq       int
+	onEviction     func(now time.Time, evicted []string)
 
 	// DeployLatency measures time from batch start to commit.
 	DeployLatency metrics.Summary
@@ -258,10 +275,28 @@ func (o *Orchestrator) syncWorkspace() error {
 			if err != nil {
 				return fmt.Errorf("orchestrator: forecasting zone %s: %w", st.ZoneID, err)
 			}
+			// An active forecast-error fault skews the forecast placement
+			// sees; telemetry still charges the true hourly intensity.
+			if f, skewed := o.fcSkew[st.ZoneID]; skewed {
+				mean *= f
+			}
 			o.fcCache[st.ZoneID] = mean
 		}
 		o.ws.UpdateIntensity(j, mean)
-		o.ws.SetServerState(j, st.Free, st.State == cluster.PoweredOn)
+		free, on := st.Free, st.State == cluster.PoweredOn
+		switch {
+		case o.downServers[st.ServerID]:
+			// A crashed server offers no capacity and cannot be woken.
+			free, on = cluster.Resources{}, false
+		default:
+			if f, deg := o.degraded[st.ServerID]; deg {
+				// Placement sees capacity*factor - used (what actually
+				// remains on the shrunk server), never below zero.
+				used := st.Capacity.Sub(st.Free)
+				free = st.Capacity.Scale(f).Sub(used).ClampNonNegative()
+			}
+		}
+		o.ws.SetServerState(j, free, on)
 	}
 	return nil
 }
@@ -330,21 +365,42 @@ func (o *Orchestrator) Deployments() []*Deployment {
 // dynamic power is driven by the requests it actually served instead of
 // its static provisioned draw. A tick whose demand could not be fully
 // absorbed emits an overload signal (see SetOverloadHandler).
+//
+// Injected fault events (InjectFault / InjectScript) due at the tick's
+// start are consumed first: servers crash or recover, capacity degrades,
+// forecasts skew, flash fleets appear. Deployments evicted by a crash are
+// re-submitted to the placement queue and the eviction handler fires
+// (see SetEvictionHandler).
 func (o *Orchestrator) Tick(dt time.Duration) error {
-	var fire func()
+	var fire []func()
 	err := o.tick(dt, &fire)
-	if fire != nil {
-		// The overload handler runs outside the lock so it may call back
-		// into the orchestrator.
-		fire()
+	// The overload and eviction handlers run outside the lock so they may
+	// call back into the orchestrator (e.g. PlaceBatch to re-place
+	// evicted deployments).
+	for _, f := range fire {
+		f()
 	}
 	return err
 }
 
-func (o *Orchestrator) tick(dt time.Duration, fire *func()) error {
+func (o *Orchestrator) tick(dt time.Duration, fire *[]func()) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	hours := dt.Hours()
+
+	// World dynamics first: the tick's telemetry and routing see the
+	// post-fault cluster.
+	evicted, err := o.consumeFaults()
+	if len(evicted) > 0 {
+		if cb := o.onEviction; cb != nil {
+			now := o.now
+			names := append([]string(nil), evicted...)
+			*fire = append(*fire, func() { cb(now, names) })
+		}
+	}
+	if err != nil {
+		return err
+	}
 
 	// appW resolves each app's dynamic draw this tick: load-driven when
 	// traffic is attached, the static provisioned draw otherwise.
@@ -361,7 +417,7 @@ func (o *Orchestrator) tick(dt time.Duration, fire *func()) error {
 			o.lastOverload = o.now
 			if cb := o.onOverload; cb != nil {
 				now := o.now
-				*fire = func() { cb(now, dropped) }
+				*fire = append(*fire, func() { cb(now, dropped) })
 			}
 		}
 	}

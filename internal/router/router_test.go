@@ -201,3 +201,87 @@ func TestZeroAndClosedSliceRouting(t *testing.T) {
 		t.Errorf("requests=%d, want 0", st.Requests)
 	}
 }
+
+// TestFullyDrainedPool covers the pool with zero serving capacity: every
+// request must surface as an explicit drop with zero energy/carbon
+// attribution — no divide-by-zero in the waterfill shares and no silent
+// loss in the counters.
+func TestFullyDrainedPool(t *testing.T) {
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT, PerReplica: true})
+	replicas := testReplicas()
+	for i := range replicas {
+		replicas[i].CapacityRPS = 0
+	}
+	sl := r.NewSlice(replicas, 100)
+	sl.Route("Miami", 500, flatCI)
+	sl.Route("Orlando", 250, flatCI)
+	sl.Close()
+
+	st := r.Stats()
+	if st.Requests != 750 {
+		t.Fatalf("requests = %d, want 750 (attempt-complete accounting)", st.Requests)
+	}
+	if st.Dropped != 750 || sl.Dropped() != 750 {
+		t.Errorf("dropped = %d/%d, want all 750", st.Dropped, sl.Dropped())
+	}
+	if st.SLOMet != 0 || st.Spilled != 0 {
+		t.Errorf("met=%d spilled=%d on a drained pool, want 0/0", st.SLOMet, st.Spilled)
+	}
+	if st.EnergyKWh != 0 || st.CarbonG != 0 {
+		t.Errorf("energy=%v carbon=%v attributed to dropped requests, want 0/0", st.EnergyKWh, st.CarbonG)
+	}
+	if st.Latency.Count() != 0 {
+		t.Errorf("latency sketch recorded %d samples for unserved requests", st.Latency.Count())
+	}
+	if st.OverloadSlices != 1 {
+		t.Errorf("overload slices = %d, want 1", st.OverloadSlices)
+	}
+	if got := st.DropRate(); got != 1 {
+		t.Errorf("drop rate = %v, want 1", got)
+	}
+	if got := st.SLOAttainment(); got != 0 {
+		t.Errorf("SLO attainment = %v, want 0", got)
+	}
+	for i, n := range sl.Served() {
+		if n != 0 {
+			t.Errorf("replica %d served %d requests with zero capacity", i, n)
+		}
+	}
+	// The JSON snapshot stays finite (no NaN/Inf leaks from the zeros).
+	snap := st.Snapshot()
+	if snap.P50Ms != 0 || snap.P99Ms != 0 || snap.SLOPct != 0 {
+		t.Errorf("snapshot quantiles not zeroed: %+v", snap)
+	}
+	for _, rep := range snap.Replicas {
+		if rep.Requests != 0 || rep.CarbonPerMReq != 0 {
+			t.Errorf("replica snapshot leaked stats: %+v", rep)
+		}
+	}
+}
+
+// TestPoolDrainsMidSlice drains the pool during a slice: the requests
+// that fit are served, the remainder drops, and attribution covers only
+// the served share.
+func TestPoolDrainsMidSlice(t *testing.T) {
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT})
+	sl := r.NewSlice(testReplicas(), 10) // 100-request budget per replica
+	sl.Route("Miami", 250, flatCI)       // fills Miami + Orlando + Tampa (300 cap)
+	sl.Route("Miami", 200, flatCI)       // only 50 left; 150 must drop
+	sl.Close()
+
+	st := r.Stats()
+	if st.Requests != 450 {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	if st.Dropped != 150 {
+		t.Errorf("dropped = %d, want 150", st.Dropped)
+	}
+	served := st.Requests - st.Dropped
+	wantKWh := float64(served) * 0.5 / 3.6e6
+	if math.Abs(st.EnergyKWh-wantKWh) > 1e-12 {
+		t.Errorf("energy = %v kWh, want %v (served requests only)", st.EnergyKWh, wantKWh)
+	}
+	if st.Latency.Count() != served {
+		t.Errorf("latency samples %d != served %d", st.Latency.Count(), served)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/carbon"
 	"repro/internal/energy"
+	"repro/internal/events"
 	"repro/internal/placement"
 	"repro/internal/traffic"
 )
@@ -121,6 +122,22 @@ type Config struct {
 	// Traffic.Seed inherits Seed. When nil (the default) the classic
 	// epoch mode runs unchanged.
 	Traffic *traffic.Config
+	// Faults, when non-nil, scripts world dynamics on the event timeline:
+	// server crashes and recoveries, zone outages, capacity degradation,
+	// carbon-forecast error spikes, and flash fleet scale-outs, applied at
+	// their scheduled instants ahead of that epoch's phases. Applications
+	// on crashed or shrunk servers are evicted and forced back through
+	// the placement/redeploy path; Result.Faults records the telemetry.
+	// When nil (the default) results are byte-identical to a fault-free
+	// run.
+	Faults *events.FaultScript
+	// FixedLoop runs the pre-timeline hard-coded epoch sequence
+	// (departures, redeploy, arrivals, placement, traffic, accrual)
+	// instead of dispatching the same phases from the event timeline. It
+	// is the reference implementation the timeline is proven against
+	// (TestTimelineMatchesFixedLoop, BenchmarkTimelineReplay) and does not
+	// support fault scripts.
+	FixedLoop bool
 }
 
 // DefaultConfig returns the paper's CDN baseline: year-long, 20 ms RTT
@@ -171,6 +188,14 @@ func (c *Config) Validate() error {
 	if c.Traffic != nil {
 		if err := c.Traffic.Validate(); err != nil {
 			return err
+		}
+	}
+	if c.Faults != nil {
+		if c.FixedLoop {
+			return fmt.Errorf("sim: fault scripts need the event timeline (FixedLoop is the pre-timeline reference loop)")
+		}
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/deploy"
 	"repro/internal/energy"
+	"repro/internal/events"
 	"repro/internal/latency"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -33,11 +34,18 @@ type ObserverFunc func(epoch int, now time.Time, res *Result)
 func (f ObserverFunc) OnEpoch(epoch int, now time.Time, res *Result) { f(epoch, now, res) }
 
 // Engine is the stepwise form of the simulator: NewEngine builds the
-// deployment state, each Step advances one hourly epoch (departures,
-// optional redeployment, arrivals, batched placement, emission accrual),
-// and Finish returns the accumulated Result. Run is a thin loop over it;
+// deployment state, each Step advances one hourly epoch, and Finish
+// returns the accumulated Result. Run is a thin loop over it;
 // orchestration layers that need to observe or interleave simulations
 // mid-flight drive Step directly.
+//
+// Each epoch's work — scripted faults, the carbon tick, departures,
+// redeploy triggers, arrival batches, placement, traffic slices, and
+// emission accrual — is dispatched from an events.Timeline in stable
+// (time, seq) order rather than a hard-coded sequence, so world-dynamics
+// events (Config.Faults) interleave deterministically with the epoch
+// phases. Config.FixedLoop selects the pre-timeline hard-coded loop, kept
+// as the reference the timeline is proven byte-identical against.
 //
 // An Engine is single-goroutine (not safe for concurrent Step calls), but
 // any number of engines may share one World: all world data is read-only.
@@ -62,20 +70,34 @@ type Engine struct {
 	// is synced into it from the engine's aggregate site servers before
 	// each solve; intensities update on the carbon clock.
 	ws      *placement.Workspace
-	srvIdx  map[srvKey]int     // (site, device) -> server index
 	fcCache map[string]float64 // zone -> mean forecast, valid at fcAt
 	fcAt    time.Time
 	// rebuild forces the legacy dense placement.Build path on every
 	// batch (test hook for the workspace-vs-rebuild equivalence suite).
 	rebuild bool
 
-	res        *Result
-	live       []*liveApp
-	backlog    []placement.App
-	backlogSrc []int
-	appSeq     int
-	start      time.Time
-	epoch      int
+	// tl is the epoch timeline: every phase of every epoch is a scheduled
+	// event, dispatched in (time, seq) order. Nil in FixedLoop mode.
+	tl *events.Timeline
+	// faultq holds the scripted world-dynamics events, drained by the
+	// faults phase at the top of each epoch. Nil without a fault script.
+	faultq *events.Timeline
+	// fcErr is the active per-zone forecast error factor (forecast-error
+	// faults); nil reads return no factor.
+	fcErr map[string]float64
+	// forceRedeploy triggers an out-of-cadence redeploy this epoch (set
+	// by faults that evicted applications).
+	forceRedeploy bool
+	// downCount tracks how many servers are currently crashed.
+	downCount int
+	evictSeq  int
+
+	res     *Result
+	live    []*liveApp
+	pending []pendingApp
+	appSeq  int
+	start   time.Time
+	epoch   int
 
 	// Traffic-driven mode (cfg.Traffic != nil).
 	tgen     *traffic.Generator
@@ -144,12 +166,14 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 				return nil, err
 			}
 			capMilli := cfg.CapacityMilliPerSite * scale
+			capVec := cluster.NewResources(capMilli,
+				float64(dev.MemMB)*scale*4, float64(dev.MemMB)*scale, 1e9)
 			e.servers = append(e.servers, &siteServer{
-				site:   i,
-				device: dev,
-				cap: cluster.NewResources(capMilli,
-					float64(dev.MemMB)*scale*4, float64(dev.MemMB)*scale, 1e9),
-				on: cfg.ServersAlwaysOn,
+				site:    i,
+				device:  dev,
+				baseCap: capVec,
+				cap:     capVec,
+				on:      cfg.ServersAlwaysOn,
 			})
 		}
 	}
@@ -191,16 +215,21 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 		return nil, err
 	}
 	e.ws = ws
-	e.srvIdx = make(map[srvKey]int, len(e.servers))
-	for j, srv := range e.servers {
-		e.srvIdx[srvKey{srv.site, srv.device.Name}] = j
-	}
 	e.fcCache = map[string]float64{}
 
 	if cfg.Traffic != nil {
 		if err := e.initTraffic(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Faults != nil {
+		if err := e.initFaults(); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.FixedLoop {
+		e.tl = events.NewTimeline()
+		e.scheduleEpoch(0)
 	}
 	return e, nil
 }
@@ -271,8 +300,10 @@ func (e *Engine) Done() bool { return e.epoch >= e.cfg.Hours }
 // inspect partial state; the engine keeps owning the pointer until Done.
 func (e *Engine) Finish() *Result { return e.res }
 
-// Step advances the simulation by one hourly epoch. Calling Step after
-// Done reports true is an error.
+// Step advances the simulation by one hourly epoch: every event due at
+// the epoch's instant — scripted faults first, then the epoch phases —
+// is dispatched from the timeline in stable (time, seq) order. Calling
+// Step after Done reports true is an error.
 func (e *Engine) Step() error {
 	if e.Done() {
 		return fmt.Errorf("sim: Step past end of %d-hour span", e.cfg.Hours)
@@ -282,8 +313,83 @@ func (e *Engine) Step() error {
 	if _, err := e.w.Traces.Trace(e.sites[0].ZoneID).IndexOf(now); err != nil {
 		return fmt.Errorf("sim: epoch %d outside trace span: %w", epoch, err)
 	}
-	month := int(now.Month()) - 1
 
+	if e.cfg.FixedLoop {
+		if err := e.fixedStep(now, epoch); err != nil {
+			return err
+		}
+	} else {
+		for ev, ok := e.tl.PopDue(now); ok; ev, ok = e.tl.PopDue(now) {
+			if err := ev.Apply(now); err != nil {
+				return fmt.Errorf("sim: epoch %d %s event: %w", epoch, ev.Kind, err)
+			}
+		}
+	}
+
+	e.epoch++
+	if e.tl != nil && !e.Done() {
+		e.scheduleEpoch(e.epoch)
+	}
+	if e.Done() {
+		e.closeFaultAccounting()
+	}
+	for _, o := range e.observers {
+		o.OnEpoch(epoch, now, e.res)
+	}
+	return nil
+}
+
+// closeFaultAccounting settles evicted apps still waiting when the span
+// ends (an outage that outlives the run): they count as lost, down from
+// eviction to the end of the run or their own departure, whichever is
+// first — so Evictions == Replaced + Lost holds for every script.
+func (e *Engine) closeFaultAccounting() {
+	fs := e.res.Faults
+	if fs == nil {
+		return
+	}
+	for _, p := range e.pending {
+		if p.evictedAt < 0 {
+			continue
+		}
+		end := e.cfg.Hours
+		if p.expires < end {
+			end = p.expires
+		}
+		fs.Lost++
+		fs.DowntimeEpochs += end - p.evictedAt
+	}
+	e.pending = nil
+}
+
+// scheduleEpoch enqueues one epoch's phase events in canonical order.
+// Because the timeline dispatches in (time, seq) order and each epoch's
+// phases are scheduled together, the phases replay the fixed loop's
+// sequence exactly; fault events (scheduled at build time, so with lower
+// sequence numbers) fire ahead of the phases of their epoch.
+func (e *Engine) scheduleEpoch(epoch int) {
+	at := e.start.Add(time.Duration(epoch) * time.Hour)
+	if e.faultq != nil {
+		e.tl.Schedule(at, "faults", e.phaseFaults)
+	}
+	e.tl.Schedule(at, "carbon-tick", e.phaseCarbonTick)
+	e.tl.Schedule(at, "departures", e.phaseDepartures)
+	if e.cfg.RedeployEveryHours > 0 || e.faultq != nil {
+		e.tl.Schedule(at, "redeploy", e.phaseRedeploy)
+	}
+	e.tl.Schedule(at, "arrivals", e.phaseArrivals)
+	e.tl.Schedule(at, "placement", e.phasePlacement)
+	if e.tgen != nil {
+		e.tl.Schedule(at, "traffic", e.phaseTraffic)
+	}
+	e.tl.Schedule(at, "accrual", e.phaseAccrual)
+}
+
+// fixedStep is the pre-timeline hard-coded epoch sequence, kept as the
+// reference implementation the timeline mode is proven byte-identical
+// against (fault scripts are rejected in this mode).
+func (e *Engine) fixedStep(now time.Time, epoch int) error {
+	month := int(now.Month()) - 1
 	e.stepDepartures(epoch)
 	if e.cfg.RedeployEveryHours > 0 && epoch > 0 && epoch%e.cfg.RedeployEveryHours == 0 && len(e.live) > 0 {
 		if err := e.redeploy(now); err != nil {
@@ -291,24 +397,83 @@ func (e *Engine) Step() error {
 		}
 	}
 	e.stepArrivals()
-	apps, srcIdx := e.drainBatch(epoch)
-	if len(apps) > 0 {
-		if err := e.stepPlacement(apps, srcIdx, now, epoch, month); err != nil {
+	batch := e.drainBatch(epoch)
+	if len(batch) > 0 {
+		if err := e.stepPlacement(batch, now, epoch, month); err != nil {
 			return err
 		}
 	}
 	if err := e.stepTraffic(now, epoch, month); err != nil {
 		return err
 	}
-	if err := e.stepAccrual(now, month); err != nil {
-		return err
-	}
+	return e.stepAccrual(now, month)
+}
 
-	e.epoch++
-	for _, o := range e.observers {
-		o.OnEpoch(epoch, now, e.res)
+// phaseFaults drains the scripted world-dynamics events due this epoch.
+func (e *Engine) phaseFaults(now time.Time) error {
+	for ev, ok := e.faultq.PopDue(now); ok; ev, ok = e.faultq.PopDue(now) {
+		if err := ev.Apply(now); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// phaseCarbonTick starts the epoch's carbon clock: the per-zone forecast
+// memo is reset so this epoch's solves see fresh forecasts.
+func (e *Engine) phaseCarbonTick(now time.Time) error {
+	e.fcCache = map[string]float64{}
+	e.fcAt = now
+	return nil
+}
+
+// phaseDepartures releases applications whose lifetime ended.
+func (e *Engine) phaseDepartures(time.Time) error {
+	e.stepDepartures(e.epoch)
+	return nil
+}
+
+// phaseRedeploy re-places the live applications when the periodic cadence
+// is due — or immediately after an eviction storm (forceRedeploy), so
+// evicted load redistributes without waiting for the next scheduled pass.
+func (e *Engine) phaseRedeploy(now time.Time) error {
+	epoch := e.epoch
+	due := e.cfg.RedeployEveryHours > 0 && epoch > 0 && epoch%e.cfg.RedeployEveryHours == 0
+	force := e.forceRedeploy
+	e.forceRedeploy = false
+	if (due || force) && len(e.live) > 0 {
+		return e.redeploy(now)
+	}
+	return nil
+}
+
+// phaseArrivals draws the epoch's Poisson arrivals.
+func (e *Engine) phaseArrivals(time.Time) error {
+	e.stepArrivals()
+	return nil
+}
+
+// phasePlacement drains the batch backlog on its cadence and solves it.
+func (e *Engine) phasePlacement(now time.Time) error {
+	epoch := e.epoch
+	batch := e.drainBatch(epoch)
+	if len(batch) == 0 {
+		return nil
+	}
+	return e.stepPlacement(batch, now, epoch, int(now.Month())-1)
+}
+
+// phaseTraffic routes the epoch's request slice (traffic mode only).
+func (e *Engine) phaseTraffic(now time.Time) error {
+	return e.stepTraffic(now, e.epoch, int(now.Month())-1)
+}
+
+// phaseAccrual integrates the epoch's energy and emissions.
+func (e *Engine) phaseAccrual(now time.Time) error {
+	if fs := e.res.Faults; fs != nil && e.downCount > 0 {
+		fs.OutageEpochs++
+	}
+	return e.stepAccrual(now, int(now.Month())-1)
 }
 
 // stepDepartures releases apps whose lifetime ended before this epoch.
@@ -319,13 +484,24 @@ func (e *Engine) stepDepartures(epoch int) {
 			keep = append(keep, a)
 			continue
 		}
-		srv := a.serverIn(e.servers, e.cfg)
+		srv := e.servers[a.srv]
 		srv.used = srv.used.Sub(a.demand(e.cfg))
 		if srv.used.Dominant(srv.cap) <= 0 && !e.cfg.ServersAlwaysOn {
 			srv.on = false
 		}
 	}
 	e.live = keep
+}
+
+// pendingApp is one backlog entry awaiting placement: a fresh arrival
+// (expires/evictedAt -1: its lifetime starts when placed) or an app a
+// fault evicted (keeps its original departure epoch, retried every batch
+// until placed or expired, accruing downtime).
+type pendingApp struct {
+	app       placement.App
+	src       int // source site index
+	expires   int // fixed departure epoch; -1 = AppLifetimeHours from placement
+	evictedAt int // epoch of eviction; -1 for fresh arrivals
 }
 
 // stepArrivals draws this epoch's Poisson arrivals into the backlog
@@ -338,37 +514,48 @@ func (e *Engine) stepArrivals() {
 		if len(e.cfg.Models) > 0 {
 			model = e.cfg.Models[e.rng.Intn(len(e.cfg.Models))]
 		}
-		e.backlog = append(e.backlog, placement.App{
-			ID:         fmt.Sprintf("app-%d", e.appSeq),
-			Model:      model,
-			Source:     e.sites[src].City,
-			SLOms:      e.cfg.RTTLimitMs,
-			RatePerSec: e.cfg.RatePerSec,
+		e.pending = append(e.pending, pendingApp{
+			app: placement.App{
+				ID:         fmt.Sprintf("app-%d", e.appSeq),
+				Model:      model,
+				Source:     e.sites[src].City,
+				SLOms:      e.cfg.RTTLimitMs,
+				RatePerSec: e.cfg.RatePerSec,
+			},
+			src:       src,
+			expires:   -1,
+			evictedAt: -1,
 		})
-		e.backlogSrc = append(e.backlogSrc, src)
 		e.appSeq++
 	}
 }
 
 // drainBatch empties the backlog every BatchHours (Algorithm 1 batching)
-// and at the final epoch.
-func (e *Engine) drainBatch(epoch int) ([]placement.App, []int) {
+// and at the final epoch. Evicted apps whose lifetime ran out while they
+// waited are dropped as lost, with their wait charged as downtime.
+func (e *Engine) drainBatch(epoch int) []pendingApp {
 	batchHours := e.cfg.BatchHours
 	if batchHours <= 0 {
 		batchHours = 1
 	}
-	if (epoch+1)%batchHours == 0 || epoch == e.cfg.Hours-1 {
-		apps, srcIdx := e.backlog, e.backlogSrc
-		e.backlog, e.backlogSrc = nil, nil
-		return apps, srcIdx
+	if (epoch+1)%batchHours != 0 && epoch != e.cfg.Hours-1 {
+		return nil
 	}
-	return nil, nil
-}
-
-// srvKey addresses an aggregate site server by (site, device).
-type srvKey struct {
-	site   int
-	device string
+	batch := e.pending
+	e.pending = nil
+	if fs := e.res.Faults; fs != nil {
+		keep := batch[:0]
+		for _, p := range batch {
+			if p.evictedAt >= 0 && p.expires <= epoch {
+				fs.Lost++
+				fs.DowntimeEpochs += p.expires - p.evictedAt
+				continue
+			}
+			keep = append(keep, p)
+		}
+		batch = keep
+	}
+	return batch
 }
 
 // meanForecast memoizes the per-zone mean forecast within one epoch: the
@@ -385,6 +572,11 @@ func (e *Engine) meanForecast(zone string, now time.Time) (float64, error) {
 	v, err := e.svc.MeanForecast(zone, now, e.horizon)
 	if err != nil {
 		return 0, err
+	}
+	// An active forecast-error fault skews the forecast placement sees;
+	// accrual still charges the true hourly intensity.
+	if f, ok := e.fcErr[zone]; ok {
+		v *= f
 	}
 	e.fcCache[zone] = v
 	return v, nil
@@ -408,7 +600,12 @@ func (e *Engine) buildProblem(apps []placement.App, now time.Time) (*placement.P
 			return nil, err
 		}
 		e.ws.UpdateIntensity(j, mean)
-		e.ws.SetServerState(j, srv.cap.Sub(srv.used), srv.on)
+		if srv.down {
+			// A crashed server offers no capacity and cannot be woken.
+			e.ws.SetServerState(j, cluster.Resources{}, false)
+		} else {
+			e.ws.SetServerState(j, srv.cap.Sub(srv.used), srv.on)
+		}
 	}
 	return e.ws.Problem(apps)
 }
@@ -436,8 +633,14 @@ func (e *Engine) solveBatch(apps []placement.App, now time.Time, warm *placement
 	return prob, asg, nil
 }
 
-// stepPlacement solves Algorithm 1 on one batch and commits the placements.
-func (e *Engine) stepPlacement(apps []placement.App, srcIdx []int, now time.Time, epoch, month int) error {
+// stepPlacement solves Algorithm 1 on one batch and commits the
+// placements. Fresh arrivals with no feasible server are dropped
+// (Unplaced); evicted apps go back to the backlog and retry next batch.
+func (e *Engine) stepPlacement(batch []pendingApp, now time.Time, epoch, month int) error {
+	apps := make([]placement.App, len(batch))
+	for i, p := range batch {
+		apps[i] = p.app
+	}
 	prob, asg, err := e.solveBatch(apps, now, nil)
 	if err != nil {
 		return err
@@ -445,23 +648,39 @@ func (e *Engine) stepPlacement(apps []placement.App, srcIdx []int, now time.Time
 
 	for i, j := range asg.ServerOf {
 		if j < 0 {
-			e.res.Unplaced++
+			if batch[i].evictedAt >= 0 {
+				// No feasible server this batch (outage still in force);
+				// keep retrying until the app's lifetime runs out.
+				e.pending = append(e.pending, batch[i])
+			} else {
+				e.res.Unplaced++
+			}
 			continue
 		}
 		e.res.Placed++
 		srv := e.servers[j]
 		srv.used = srv.used.Add(prob.Demand[i][j])
 		srv.on = true
+		expires := epoch + e.cfg.AppLifetimeHours
+		if batch[i].expires >= 0 {
+			expires = batch[i].expires
+		}
 		a := &liveApp{
+			srv:     j,
 			site:    srv.site,
 			model:   apps[i].Model,
 			device:  srv.device.Name,
 			powerW:  prob.PowerW[i][j],
 			rttMs:   prob.LatencyMs[i][j],
-			expires: epoch + e.cfg.AppLifetimeHours,
-			srcSite: srcIdx[i],
+			expires: expires,
+			srcSite: batch[i].src,
 		}
 		e.live = append(e.live, a)
+		if batch[i].evictedAt >= 0 {
+			fs := e.res.Faults
+			fs.Replaced++
+			fs.DowntimeEpochs += epoch - batch[i].evictedAt
+		}
 		e.res.Latency.Add(a.rttMs)
 		e.res.MonthlyLatency[month].Add(a.rttMs)
 		city := e.sites[srv.site].City
@@ -505,6 +724,7 @@ func (e *Engine) stepTraffic(now time.Time, epoch, month int) error {
 	}
 	st := e.res.Traffic
 	kwh0, grams0 := st.EnergyKWh, st.CarbonG
+	viol0, drop0 := st.Requests-st.SLOMet, st.Dropped
 	sl := e.trouter.NewSlice(replicas, 3600)
 	srcs := e.tgen.Sources()
 	intensity := func(zone string) float64 { return ci[zone] }
@@ -517,6 +737,12 @@ func (e *Engine) stepTraffic(now time.Time, epoch, month int) error {
 	e.res.EnergyKWh += st.EnergyKWh - kwh0
 	e.res.CarbonG += st.CarbonG - grams0
 	e.res.MonthlyCarbonG[month] += st.CarbonG - grams0
+	if fs := e.res.Faults; fs != nil && e.downCount > 0 {
+		// Service quality while servers are down: requests outside the
+		// SLO (spill-over and drops included) attributed to the outage.
+		fs.ViolationsDuringOutage += (st.Requests - st.SLOMet) - viol0
+		fs.DroppedDuringOutage += st.Dropped - drop0
+	}
 	return nil
 }
 
@@ -603,8 +829,11 @@ func (e *Engine) serverViews(now time.Time) ([]placement.Server, error) {
 			Device:     srv.device.Name,
 			Intensity:  mean,
 			BasePowerW: srv.device.IdleW,
-			PoweredOn:  srv.on,
+			PoweredOn:  srv.on && !srv.down,
 			Free:       srv.cap.Sub(srv.used),
+		}
+		if srv.down {
+			pservers[j].Free = cluster.Resources{}
 		}
 	}
 	return pservers, nil
@@ -621,14 +850,10 @@ func (e *Engine) rttOracle(source, dc string) float64 {
 // destination zone's current carbon intensity.
 func (e *Engine) redeploy(now time.Time) error {
 	// Free every live app's resources so the solver sees the full space.
-	type prev struct {
-		site   int
-		device string
-	}
-	prevs := make([]prev, len(e.live))
+	prevs := make([]int, len(e.live))
 	for i, a := range e.live {
-		prevs[i] = prev{a.site, a.device}
-		srv := a.serverIn(e.servers, e.cfg)
+		prevs[i] = a.srv
+		srv := e.servers[a.srv]
 		srv.used = srv.used.Sub(a.demand(e.cfg))
 		if srv.used.Dominant(srv.cap) <= 0 && !e.cfg.ServersAlwaysOn {
 			srv.on = false
@@ -652,10 +877,7 @@ func (e *Engine) redeploy(now time.Time) error {
 	// paper's redeploy figures are produced cold.
 	var warm *placement.Assignment
 	if e.cfg.WarmRedeploy {
-		warm = &placement.Assignment{ServerOf: make([]int, len(e.live))}
-		for i := range e.live {
-			warm.ServerOf[i] = e.srvIdx[srvKey{prevs[i].site, prevs[i].device}]
-		}
+		warm = &placement.Assignment{ServerOf: append([]int(nil), prevs...)}
 	}
 	prob, asg, err := e.solveBatch(apps, now, warm)
 	if err != nil {
@@ -664,8 +886,9 @@ func (e *Engine) redeploy(now time.Time) error {
 
 	restore := func(i int) {
 		a := e.live[i]
-		a.site, a.device = prevs[i].site, prevs[i].device
-		srv := a.serverIn(e.servers, e.cfg)
+		a.srv = prevs[i]
+		srv := e.servers[a.srv]
+		a.site, a.device = srv.site, srv.device.Name
 		srv.used = srv.used.Add(a.demand(e.cfg))
 		srv.on = true
 	}
@@ -676,7 +899,8 @@ func (e *Engine) redeploy(now time.Time) error {
 		}
 		srv := e.servers[j]
 		a := e.live[i]
-		moved := srv.site != prevs[i].site || srv.device.Name != prevs[i].device
+		moved := j != prevs[i]
+		a.srv = j
 		a.site, a.device = srv.site, srv.device.Name
 		a.powerW = prob.PowerW[i][j]
 		a.rttMs = prob.LatencyMs[i][j]

@@ -82,6 +82,11 @@ type Result struct {
 	SolveTime time.Duration
 	// Batches counts placement invocations.
 	Batches int
+	// Faults records the world-dynamics telemetry — fault events applied,
+	// evictions, recovery latency, outage-epoch service quality — when the
+	// run has a fault script (nil otherwise, so fault-free results are
+	// unchanged).
+	Faults *FaultStats
 	// Traffic records the request-level telemetry — SLO attainment,
 	// latency quantiles, spill-over/drop counts, per-request carbon — in
 	// the traffic-driven mode (nil in the classic epoch mode). Its
@@ -94,6 +99,7 @@ func (r *Result) MeanRTTMs() float64 { return r.Latency.Mean() }
 
 // liveApp is a committed application.
 type liveApp struct {
+	srv     int // index into servers (the hosting aggregate server)
 	site    int // index into sites
 	model   string
 	device  string
@@ -107,9 +113,15 @@ type liveApp struct {
 type siteServer struct {
 	site   int
 	device energy.Device
-	cap    cluster.Resources
-	used   cluster.Resources
-	on     bool
+	// baseCap is the undegraded capacity; cap is the effective capacity
+	// after any capacity-degradation fault (equal to baseCap otherwise).
+	baseCap cluster.Resources
+	cap     cluster.Resources
+	used    cluster.Resources
+	on      bool
+	// down marks a crashed server: zero effective capacity, excluded from
+	// placement until a recover fault.
+	down bool
 }
 
 // Run executes the simulation to completion: a thin epoch loop over the
@@ -125,17 +137,6 @@ func Run(cfg Config, w *World) (*Result, error) {
 		}
 	}
 	return e.Finish(), nil
-}
-
-// serverIn resolves a live app's aggregate server.
-func (a *liveApp) serverIn(servers []*siteServer, cfg Config) *siteServer {
-	for _, srv := range servers {
-		if srv.site == a.site && srv.device.Name == a.device {
-			return srv
-		}
-	}
-	// Unreachable: apps are only committed to existing servers.
-	panic("sim: live app references unknown server")
 }
 
 // demand reconstructs the app's resource demand on its device.

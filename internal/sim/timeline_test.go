@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/events"
+	"repro/internal/placement"
+	"repro/internal/traffic"
+)
+
+// TestTimelineMatchesFixedLoop proves the tentpole equivalence: with no
+// fault events scheduled, the event-timeline dispatch replays the
+// pre-refactor hard-coded epoch loop byte for byte — in the classic epoch
+// mode, with periodic redeployment, and in the traffic-driven mode. Each
+// pair runs on concurrent goroutines over the shared world, so under
+// -race this doubles as the dispatcher's data-race check.
+func TestTimelineMatchesFixedLoop(t *testing.T) {
+	w := testWorld(t)
+	mk := func(mutate func(*Config)) Config {
+		cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+		cfg.Hours = 24 * 10
+		mutate(&cfg)
+		return cfg
+	}
+	configs := map[string]Config{
+		"classic":  mk(func(cfg *Config) {}),
+		"us":       mk(func(cfg *Config) { cfg.Region = carbon.RegionUS; cfg.Seed = 7 }),
+		"latency":  mk(func(cfg *Config) { cfg.Policy = placement.LatencyAware{} }),
+		"redeploy": mk(func(cfg *Config) { cfg.RedeployEveryHours = 24 }),
+		"batched":  mk(func(cfg *Config) { cfg.BatchHours = 6 }),
+		"powered":  mk(func(cfg *Config) { cfg.ServersAlwaysOn = false }),
+		"traffic": mk(func(cfg *Config) {
+			cfg.Traffic = &traffic.Config{Scenario: traffic.FlashCrowd, RPS: 900}
+		}),
+	}
+	for name, cfg := range configs {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var timeline, fixed *Result
+			var terr, ferr error
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				timeline, terr = Run(cfg, w)
+			}()
+			go func() {
+				defer wg.Done()
+				fcfg := cfg
+				fcfg.FixedLoop = true
+				fixed, ferr = Run(fcfg, w)
+			}()
+			wg.Wait()
+			if terr != nil || ferr != nil {
+				t.Fatalf("timeline err %v, fixed-loop err %v", terr, ferr)
+			}
+			if !reflect.DeepEqual(stripClock(timeline), stripClock(fixed)) {
+				t.Errorf("timeline result diverged from the fixed loop:\ntimeline: %+v\nfixed:    %+v",
+					stripClock(timeline), stripClock(fixed))
+			}
+		})
+	}
+}
+
+// hotCity finds the city hosting the most placements in a fault-free
+// reference run — the deterministic target for crash scenarios.
+func hotCity(t *testing.T, cfg Config, w *World) string {
+	t.Helper()
+	ref, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var city string
+	var max int64
+	for _, c := range ref.PlacementsByCity.Labels() {
+		if n := ref.PlacementsByCity.Get(c); n > max {
+			city, max = c, n
+		}
+	}
+	if city == "" {
+		t.Fatal("reference run placed nothing")
+	}
+	return city
+}
+
+func TestFaultCrashEvictsAndRecovers(t *testing.T) {
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24 * 8
+	city := hotCity(t, cfg, w)
+
+	cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: 72 * time.Hour, Kind: events.FaultCrash, Site: city, For: 48 * time.Hour},
+	}}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Faults
+	if fs == nil {
+		t.Fatal("fault run produced no fault telemetry")
+	}
+	if fs.Events != 2 {
+		t.Errorf("events applied = %d, want 2 (crash + scheduled recover)", fs.Events)
+	}
+	if fs.ServerCrashes == 0 || fs.ServerRecoveries != fs.ServerCrashes {
+		t.Errorf("crashes %d / recoveries %d, want equal and positive", fs.ServerCrashes, fs.ServerRecoveries)
+	}
+	if fs.Evictions == 0 {
+		t.Fatalf("crashing the busiest city (%s) evicted nothing", city)
+	}
+	if fs.Replaced+fs.Lost != fs.Evictions {
+		t.Errorf("evictions %d != replaced %d + lost %d (none left pending at end of run)",
+			fs.Evictions, fs.Replaced, fs.Lost)
+	}
+	if fs.Replaced == 0 {
+		t.Error("no evicted app was re-placed through the redeploy path")
+	}
+	if fs.OutageEpochs != 48 {
+		t.Errorf("outage epochs = %d, want 48", fs.OutageEpochs)
+	}
+	// Evicted apps are re-placed within the same epoch's placement pass
+	// when other sites have capacity, so downtime stays bounded by the
+	// outage length.
+	if fs.DowntimeEpochs > fs.Evictions*48 {
+		t.Errorf("downtime %d epochs exceeds eviction count x outage length", fs.DowntimeEpochs)
+	}
+	// The crashed city hosts nothing while it is down; the run still
+	// serves the workload (placements continue).
+	if res.Placed == 0 {
+		t.Fatal("no placements in fault run")
+	}
+
+	// Fault runs are deterministic: an identical replay is byte-identical.
+	again, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripClock(res), stripClock(again)) {
+		t.Error("fault run replay diverged")
+	}
+}
+
+func TestFaultZoneOutageUnderTraffic(t *testing.T) {
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24 * 6
+	city := hotCity(t, cfg, w)
+	var zone string
+	for _, s := range w.Dep.InRegion(cfg.Region) {
+		if s.City == city {
+			zone = s.ZoneID
+		}
+	}
+	if zone == "" {
+		t.Fatalf("no zone for city %s", city)
+	}
+
+	cfg.Traffic = &traffic.Config{Scenario: traffic.Steady, RPS: 700}
+	cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: 48 * time.Hour, Kind: events.FaultCrash, Zone: zone, For: 24 * time.Hour},
+	}}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Faults
+	if fs.Evictions == 0 {
+		t.Fatalf("zone outage of %s (%s) evicted nothing", zone, city)
+	}
+	if fs.OutageEpochs != 24 {
+		t.Errorf("outage epochs = %d, want 24", fs.OutageEpochs)
+	}
+	if res.Traffic == nil || res.Traffic.Requests == 0 {
+		t.Fatal("traffic mode routed nothing")
+	}
+	if fs.ViolationsDuringOutage < 0 || fs.DroppedDuringOutage < 0 {
+		t.Errorf("negative outage service-quality counters: %+v", fs)
+	}
+}
+
+func TestFaultDegradeEvictsOverflow(t *testing.T) {
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24 * 6
+	city := hotCity(t, cfg, w)
+
+	// Crush the busiest site to 2% capacity mid-run: hosted apps no
+	// longer fit and must be evicted, then restored capacity reopens it.
+	cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: 72 * time.Hour, Kind: events.FaultDegrade, Site: city, Factor: 0.02, For: 24 * time.Hour},
+	}}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Faults
+	if fs.Events != 2 {
+		t.Errorf("events = %d, want degrade + restore", fs.Events)
+	}
+	if fs.Evictions == 0 {
+		t.Error("degrading the busiest site evicted nothing")
+	}
+	if fs.OutageEpochs != 0 {
+		t.Errorf("degradation counted as outage epochs (%d); only crashes are outages", fs.OutageEpochs)
+	}
+}
+
+func TestFaultScaleOutAddsCapacity(t *testing.T) {
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24 * 4
+	city := hotCity(t, cfg, w)
+
+	cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: 24 * time.Hour, Kind: events.FaultScaleOut, Site: city, CapacityMilli: 4000, Count: 3},
+	}}
+	e, err := NewEngine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(e.servers)
+	for !e.Done() {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(e.servers) - before; got != 3 {
+		t.Errorf("scale-out added %d servers, want 3", got)
+	}
+	if e.ws.NumServers() != len(e.servers) {
+		t.Errorf("workspace servers %d != engine servers %d", e.ws.NumServers(), len(e.servers))
+	}
+	if e.Finish().Faults.ScaleOuts != 3 {
+		t.Errorf("ScaleOuts = %d, want 3", e.Finish().Faults.ScaleOuts)
+	}
+}
+
+func TestFaultForecastErrorOnlySkewsPlacement(t *testing.T) {
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24 * 4
+	city := hotCity(t, cfg, w)
+	var zone string
+	for _, s := range w.Dep.InRegion(cfg.Region) {
+		if s.City == city {
+			zone = s.ZoneID
+		}
+	}
+
+	base, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: 24 * time.Hour, Kind: events.FaultForecastError, Zone: zone, Factor: 50, For: 48 * time.Hour},
+	}}
+	spiked, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 50x forecast spike on the favourite zone steers the carbon-aware
+	// policy elsewhere while it lasts.
+	if spiked.PlacementsByCity.Get(city) >= base.PlacementsByCity.Get(city) {
+		t.Errorf("forecast spike on %s did not reduce its placements (%d -> %d)",
+			city, base.PlacementsByCity.Get(city), spiked.PlacementsByCity.Get(city))
+	}
+	if spiked.Faults.Evictions != 0 {
+		t.Errorf("forecast error evicted %d apps; it must only skew decisions", spiked.Faults.Evictions)
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: time.Hour, Kind: events.FaultCrash, Site: "Atlantis"},
+	}}
+	if _, err := NewEngine(cfg, w); err == nil {
+		t.Error("fault targeting an unknown site accepted")
+	}
+
+	cfg.Faults.Faults[0].Site = ""
+	cfg.Faults.Faults[0].Zone = "ZZ-NOPE"
+	if _, err := NewEngine(cfg, w); err == nil {
+		t.Error("fault targeting an unknown zone accepted")
+	}
+
+	cfg = shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.FixedLoop = true
+	cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: time.Hour, Kind: events.FaultCrash, Zone: "DE"},
+	}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("fault script on the fixed loop accepted")
+	}
+}

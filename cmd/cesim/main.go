@@ -10,6 +10,14 @@
 //	cesim -list                   # list experiment IDs
 //	cesim -exp fig11 -hours 720   # bound CDN simulations to 30 days
 //	cesim -exp fig12 -parallel 8  # sweep the grid on 8 workers
+//
+// Long runs survive interruption with -checkpoint-dir: every simulation
+// grid journals completed points there (and the longhaul experiment its
+// hourly engine checkpoints), and re-running with -resume skips what is
+// already done, stitching results back bit-identically:
+//
+//	cesim -all -checkpoint-dir /tmp/cesim-ckpt            # fresh, journaled
+//	cesim -all -checkpoint-dir /tmp/cesim-ckpt -resume    # continue after a kill
 package main
 
 import (
@@ -31,8 +39,14 @@ func main() {
 		seed     = flag.Int64("seed", 42, "dataset seed")
 		hours    = flag.Int("hours", 8760, "CDN simulation span in hours (8760 = paper's year)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for simulation grids")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for resumable sweep journals and engine checkpoints")
+		resume   = flag.Bool("resume", false, "reuse journals in -checkpoint-dir, skipping completed grid points")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "cesim: -resume needs -checkpoint-dir")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -51,6 +65,8 @@ func main() {
 		os.Exit(1)
 	}
 	suite.Parallel = *parallel
+	suite.CheckpointDir = *ckptDir
+	suite.Resume = *resume
 
 	ids := []string{*exp}
 	switch {

@@ -28,7 +28,11 @@ func WriteCSV(w io.Writer, ts *TraceSet) error {
 			if h >= tr.Len() {
 				continue
 			}
-			rec := []string{stamp, id, strconv.FormatFloat(tr.Values[h], 'f', 3, 64)}
+			// Shortest exact rendering: the parsed float64 is bit-identical
+			// to the written one, so checkpoint/restore paths that lean on
+			// trace serialization stay byte-exact (the previous fixed
+			// 3-decimal rendering truncated values).
+			rec := []string{stamp, id, strconv.FormatFloat(tr.Values[h], 'g', -1, 64)}
 			if err := cw.Write(rec); err != nil {
 				return err
 			}

@@ -1,0 +1,108 @@
+package carbon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCSVRoundTripExact pins the fidelity contract checkpoints lean on:
+// every trace value survives encode/decode bit-for-bit (not merely
+// within rounding), across the full generated dynamic range.
+func TestCSVRoundTripExact(t *testing.T) {
+	reg, err := NewRegistry(CuratedZones()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewGenerator(99).GenerateTraces(reg)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range src.ZoneIDs() {
+		a, b := src.Trace(id), got.Trace(id)
+		if b == nil {
+			t.Fatalf("round trip lost zone %s", id)
+		}
+		if !a.Start.Equal(b.Start) {
+			t.Fatalf("zone %s start %v != %v", id, a.Start, b.Start)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("zone %s length %d != %d", id, len(a.Values), len(b.Values))
+		}
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				t.Fatalf("zone %s hour %d: %v != %v (inexact round trip)", id, i, a.Values[i], b.Values[i])
+			}
+		}
+	}
+}
+
+// TestCSVZoneOrderingStable pins the row layout: hours ascend, and
+// within each hour zones are alphabetical, so two writes of one trace
+// set are byte-identical (diffable checkpoints).
+func TestCSVZoneOrderingStable(t *testing.T) {
+	reg, err := NewRegistry(CuratedZones()[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &TraceSet{}
+	g := NewGenerator(7)
+	for _, z := range reg.Zones() {
+		full := g.Intensity(z)
+		short, _ := full.Slice(0, 24)
+		src.Put(z.ID, short)
+	}
+
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of one trace set differ")
+	}
+
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 1+24*reg.Len() {
+		t.Fatalf("%d lines, want header + %d rows", len(lines), 24*reg.Len())
+	}
+	var prevStamp, prevZone string
+	for _, line := range lines[1:] {
+		parts := strings.SplitN(line, ",", 3)
+		stamp, zone := parts[0], parts[1]
+		if stamp < prevStamp {
+			t.Fatalf("hours not ascending: %s after %s", stamp, prevStamp)
+		}
+		if stamp == prevStamp && zone <= prevZone {
+			t.Fatalf("zones not strictly alphabetical within %s: %s after %s", stamp, zone, prevZone)
+		}
+		if stamp != prevStamp {
+			prevZone = ""
+		} else {
+			prevZone = zone
+		}
+		prevStamp = stamp
+	}
+
+	// A re-read re-write is also byte-identical: ordering does not depend
+	// on insertion order.
+	got, err := ReadCSV(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := WriteCSV(&c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("write-read-write not byte-identical")
+	}
+}

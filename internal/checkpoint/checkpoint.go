@@ -1,0 +1,166 @@
+// Package checkpoint is the versioned, self-describing codec the
+// simulator, sweep runner, and orchestrator persist their state through.
+// Every artifact is a JSON envelope carrying the format name, a format
+// version, a kind tag, and a SHA-256 digest of the payload, so a reader
+// can reject foreign files, future versions, mis-routed kinds, and
+// corrupted payloads before decoding a byte of state. Payload encoding
+// is plain encoding/json: Go's float and integer renderings round-trip
+// exactly and maps encode with sorted keys, so two equal states produce
+// identical bytes — the property the resume-equivalence tests compare.
+//
+// Files are written atomically (temp file + rename in the target
+// directory), so a crash mid-checkpoint leaves the previous checkpoint
+// intact rather than a truncated one. The append-only Journal (see
+// journal.go) complements full snapshots for incremental workloads:
+// completed work units are appended one envelope per line, and a
+// restart replays the journal to skip what is already done.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	// Format identifies checkpoint artifacts written by this repository.
+	Format = "carbonedge-checkpoint"
+	// Version is the envelope format version. Readers reject envelopes
+	// with a newer version (state written by a future build) rather than
+	// guessing at their layout.
+	Version = 1
+)
+
+// Envelope is the self-describing frame around every serialized payload.
+type Envelope struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Kind routes the payload to its decoder ("engine", "orchestrator",
+	// "sweep-grid", "sweep-point", ...).
+	Kind string `json:"kind"`
+	// Key optionally identifies the payload within a journal (a sweep
+	// point's grid key).
+	Key string `json:"key,omitempty"`
+	// SHA256 is the hex digest of Payload, verified before decoding.
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// seal wraps a payload in an envelope.
+func seal(kind, key string, payload any) (*Envelope, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding %s payload: %w", kind, err)
+	}
+	sum := sha256.Sum256(raw)
+	return &Envelope{
+		Format:  Format,
+		Version: Version,
+		Kind:    kind,
+		Key:     key,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: raw,
+	}, nil
+}
+
+// Open validates the envelope (format, version, payload digest) and
+// returns the payload bytes. A non-empty kind additionally requires the
+// envelope to carry that kind; journal readers pass "" and dispatch on
+// Kind themselves.
+func (e *Envelope) Open(kind string) (json.RawMessage, error) {
+	if e.Format != Format {
+		return nil, fmt.Errorf("checkpoint: not a %s artifact (format %q)", Format, e.Format)
+	}
+	if e.Version > Version {
+		return nil, fmt.Errorf("checkpoint: version %d is newer than this build understands (%d)", e.Version, Version)
+	}
+	if kind != "" && e.Kind != kind {
+		return nil, fmt.Errorf("checkpoint: kind %q, want %q", e.Kind, kind)
+	}
+	sum := sha256.Sum256(e.Payload)
+	if got := hex.EncodeToString(sum[:]); got != e.SHA256 {
+		return nil, fmt.Errorf("checkpoint: %s payload digest mismatch (corrupted artifact)", e.Kind)
+	}
+	return e.Payload, nil
+}
+
+// Encode writes one enveloped payload to w.
+func Encode(w io.Writer, kind string, payload any) error {
+	env, err := seal(kind, "", payload)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(env)
+}
+
+// Decode reads one enveloped payload from r, validates the envelope
+// against kind, and unmarshals the payload into out.
+func Decode(r io.Reader, kind string, out any) error {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("checkpoint: reading envelope: %w", err)
+	}
+	raw, err := env.Open(kind)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("checkpoint: decoding %s payload: %w", kind, err)
+	}
+	return nil
+}
+
+// Save atomically writes one enveloped payload to path: the envelope is
+// staged to a temp file in the same directory and renamed into place, so
+// a crash mid-write never leaves a truncated checkpoint where a good one
+// stood.
+func Save(path, kind string, payload any) error {
+	var buf bytes.Buffer
+	if err := Encode(&buf, kind, payload); err != nil {
+		return err
+	}
+	return SaveBytes(path, buf.Bytes())
+}
+
+// SaveBytes atomically writes an already-encoded envelope (the output of
+// Encode) to path — for callers that also need the encoded bytes and
+// should not pay for sealing the payload twice.
+func SaveBytes(path string, encoded []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(encoded); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads an enveloped payload from path (see Decode).
+func Load(path, kind string, out any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Decode(f, kind, out)
+}

@@ -1,0 +1,123 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is an append-only log of enveloped payloads, one JSON line per
+// entry — the resume medium for incremental workloads (sweep grids):
+// each completed unit is appended as it finishes, and a restart replays
+// the journal to skip work already done. Entries are validated on
+// replay (format, version, digest); an unterminated final line — the
+// footprint of a crash mid-append, since Append writes the newline
+// last — is dropped and truncated away so the journal stays appendable.
+// Any newline-terminated line that fails validation is an error,
+// wherever it sits: that is durable data that rotted, not an
+// interrupted write.
+//
+// Append is safe for concurrent use (the sweep runner appends from its
+// worker pool).
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// its entries. The returned journal is positioned for appending.
+func OpenJournal(path string) (*Journal, []Envelope, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	var entries []Envelope
+	valid := 0 // bytes covered by intact entries
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			// No terminating newline: a torn tail from a crash mid-append.
+			break
+		}
+		line := raw[off : off+nl]
+		off += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			valid = off
+			continue
+		}
+		// A newline-terminated line that fails to parse or validate is not
+		// a torn append (Append writes the newline last, so a crash leaves
+		// an unterminated tail): it is durable data that rotted, and the
+		// journal reports it rather than silently truncating evidence.
+		var env Envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: journal %s entry %d: %w", path, len(entries), err)
+		}
+		if _, err := env.Open(""); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: journal %s entry %d: %w", path, len(entries), err)
+		}
+		entries = append(entries, env)
+		valid = off
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Truncate away any torn tail so the next append starts a clean line.
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f, path: path}, entries, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append seals payload into an envelope and appends it as one line,
+// fsyncing before returning so a completed unit survives a crash.
+func (j *Journal) Append(kind, key string, payload any) error {
+	env, err := seal(kind, key, payload)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close releases the journal's file handle.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -175,3 +175,13 @@ func (s *Server) StateChanges() int {
 	defer s.mu.Unlock()
 	return s.statedAt
 }
+
+// Allocation returns the resource vector allocated to an app on this
+// server; ok is false when the app is not hosted here. Checkpoint/
+// restore uses it to re-create allocations exactly.
+func (s *Server) Allocation(appID string) (Resources, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.apps[appID]
+	return r, ok
+}

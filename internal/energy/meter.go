@@ -91,3 +91,25 @@ func JoulesToGrams(joules, intensityGPerKWh float64) float64 {
 func KWhToGrams(kwh, intensityGPerKWh float64) float64 {
 	return kwh * intensityGPerKWh
 }
+
+// MeterState is the serializable form of a Meter, used by
+// checkpoint/restore.
+type MeterState struct {
+	Joules  float64 `json:"joules"`
+	LastW   float64 `json:"last_w"`
+	Samples int     `json:"samples"`
+}
+
+// State exports the meter's accumulator.
+func (m *Meter) State() MeterState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MeterState{Joules: m.joules, LastW: m.lastW, Samples: m.samples}
+}
+
+// Restore replaces the meter's accumulator with an exported state.
+func (m *Meter) Restore(st MeterState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joules, m.lastW, m.samples = st.Joules, st.LastW, st.Samples
+}

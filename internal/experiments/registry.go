@@ -38,6 +38,7 @@ var registry = map[string]Runner{
 	"ext-redeploy":        func(s *Suite) (fmt.Stringer, error) { return s.ExtRedeploy() },
 	"traffic":             func(s *Suite) (fmt.Stringer, error) { return s.Traffic() },
 	"faults":              func(s *Suite) (fmt.Stringer, error) { return s.Faults() },
+	"longhaul":            func(s *Suite) (fmt.Stringer, error) { return s.Longhaul() },
 }
 
 // IDs returns all registered experiment IDs, sorted.
@@ -105,6 +106,7 @@ func RunReport(s *Suite, id string) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
+	s.beginExperiment(id)
 	start := time.Now()
 	v, err := r(s)
 	if err != nil {

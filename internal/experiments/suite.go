@@ -8,7 +8,10 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 
 	"repro/internal/carbon"
 	"repro/internal/deploy"
@@ -29,6 +32,46 @@ type Suite struct {
 	// value: every grid point owns its RNG.
 	Parallel int
 	World    *sim.World
+	// CheckpointDir, when set, roots resumable state: every simulation
+	// grid an experiment declares gets a sweep journal under this
+	// directory (named <experiment>-grid<N>.journal by declaration
+	// order), and the longhaul experiment writes its hourly engine
+	// checkpoints there.
+	CheckpointDir string
+	// Resume reuses existing journals in CheckpointDir — completed grid
+	// points are stitched in without re-running. When false, stale
+	// journals are removed so every run starts fresh.
+	Resume bool
+
+	// Journal naming state: RunReport pins the active experiment ID, and
+	// grids within one experiment number themselves in declaration order
+	// (deterministic, so a resumed process maps journals back to the
+	// same grids).
+	mu      sync.Mutex
+	exp     string
+	gridSeq int
+}
+
+// beginExperiment resets the journal-naming state for one experiment.
+func (s *Suite) beginExperiment(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exp, s.gridSeq = id, 0
+}
+
+// checkpointPath resolves a file under CheckpointDir ("" when
+// checkpointing is off).
+func (s *Suite) checkpointPath(name string) string {
+	if s.CheckpointDir == "" {
+		return ""
+	}
+	s.mu.Lock()
+	exp := s.exp
+	s.mu.Unlock()
+	if exp != "" {
+		name = exp + "-" + name
+	}
+	return filepath.Join(s.CheckpointDir, name)
 }
 
 // NewSuite builds the shared world. hours <= 0 defaults to the full year.
@@ -44,9 +87,22 @@ func NewSuite(seed int64, hours int) (*Suite, error) {
 }
 
 // newGrid starts an empty simulation grid over the shared world at the
-// suite's parallelism.
+// suite's parallelism. With CheckpointDir set, the grid is journaled:
+// completed points persist as they finish and a resumed run (Resume)
+// skips them.
 func (s *Suite) newGrid() *sweep.Grid {
-	return &sweep.Grid{World: s.World, Parallel: s.Parallel}
+	g := &sweep.Grid{World: s.World, Parallel: s.Parallel}
+	if s.CheckpointDir != "" {
+		s.mu.Lock()
+		n := s.gridSeq
+		s.gridSeq++
+		s.mu.Unlock()
+		g.Journal = s.checkpointPath(fmt.Sprintf("grid%02d.journal", n))
+		if !s.Resume {
+			os.Remove(g.Journal)
+		}
+	}
+	return g
 }
 
 // mapN runs fn over n indices on the suite's worker pool, results in

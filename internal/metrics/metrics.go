@@ -161,3 +161,65 @@ func (c *Counter) Labels() []string {
 	sort.Strings(out)
 	return out
 }
+
+// SummaryState is the serializable form of a Summary, used by
+// checkpoint/restore. Restoring it reproduces the accumulator
+// bit-identically.
+type SummaryState struct {
+	N          int     `json:"n"`
+	Sum        float64 `json:"sum"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+	SumSquares float64 `json:"sum_squares"`
+}
+
+// State exports the summary's accumulator.
+func (s *Summary) State() SummaryState {
+	return SummaryState{N: s.n, Sum: s.sum, Min: s.min, Max: s.max, SumSquares: s.sumSquares}
+}
+
+// SummaryFromState rebuilds a summary from an exported state.
+func SummaryFromState(st SummaryState) Summary {
+	return Summary{n: st.N, sum: st.Sum, min: st.Min, max: st.Max, sumSquares: st.SumSquares}
+}
+
+// State exports the counter's labelled counts.
+func (c *Counter) State() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// CounterFromState rebuilds a counter from an exported state.
+func CounterFromState(st map[string]int64) *Counter {
+	c := NewCounter()
+	for k, v := range st {
+		c.counts[k] = v
+	}
+	return c
+}
+
+// State exports every group's summary state.
+func (g *Grouped) State() map[string]SummaryState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]SummaryState, len(g.groups))
+	for k, s := range g.groups {
+		out[k] = s.State()
+	}
+	return out
+}
+
+// GroupedFromState rebuilds a grouped summary from an exported state.
+func GroupedFromState(st map[string]SummaryState) *Grouped {
+	g := NewGrouped()
+	for k, s := range st {
+		sum := SummaryFromState(s)
+		g.groups[k] = &sum
+	}
+	return g
+}

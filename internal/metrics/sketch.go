@@ -229,3 +229,57 @@ func (s *QuantileSketch) String() string {
 	return fmt.Sprintf("QuantileSketch(n=%d p50=%.3f p99=%.3f max=%.3f)",
 		s.Count(), s.Quantile(0.5), s.Quantile(0.99), s.Max())
 }
+
+// SketchState is the serializable form of a QuantileSketch, used by
+// checkpoint/restore. Buckets are run-length trimmed (trailing zeros
+// dropped) so year-scale checkpoints stay small.
+type SketchState struct {
+	Buckets []uint64 `json:"buckets"`
+	NumBkts int      `json:"num_buckets"`
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Lowest  float64  `json:"lowest"`
+	Gamma   float64  `json:"gamma"`
+}
+
+// State exports the sketch's accumulator.
+func (s *QuantileSketch) State() SketchState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	last := len(s.buckets)
+	for last > 0 && s.buckets[last-1] == 0 {
+		last--
+	}
+	return SketchState{
+		Buckets: append([]uint64(nil), s.buckets[:last]...),
+		NumBkts: len(s.buckets),
+		Count:   s.count,
+		Sum:     s.sum,
+		Min:     s.min,
+		Max:     s.max,
+		Lowest:  s.lowest,
+		Gamma:   s.gamma,
+	}
+}
+
+// SketchFromState rebuilds a sketch from an exported state.
+func SketchFromState(st SketchState) (*QuantileSketch, error) {
+	if st.NumBkts <= 0 || len(st.Buckets) > st.NumBkts || st.Lowest <= 0 || st.Gamma <= 1 {
+		return nil, fmt.Errorf("metrics: invalid sketch state (%d/%d buckets, lowest=%v, gamma=%v)",
+			len(st.Buckets), st.NumBkts, st.Lowest, st.Gamma)
+	}
+	s := &QuantileSketch{
+		buckets:  make([]uint64, st.NumBkts),
+		count:    st.Count,
+		sum:      st.Sum,
+		min:      st.Min,
+		max:      st.Max,
+		lowest:   st.Lowest,
+		gamma:    st.Gamma,
+		logGamma: math.Log(st.Gamma),
+	}
+	copy(s.buckets, st.Buckets)
+	return s, nil
+}

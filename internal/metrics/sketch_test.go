@@ -334,3 +334,51 @@ func TestSketchQuantileArgumentClamping(t *testing.T) {
 		t.Errorf("q=NaN = %v, want NaN", got)
 	}
 }
+
+func TestSketchStateRoundTrip(t *testing.T) {
+	s := NewQuantileSketch()
+	for i := 0; i < 5000; i++ {
+		s.AddN(float64(i%97)/3+0.5, int64(i%5+1))
+	}
+	restored, err := SketchFromState(s.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.Count() || restored.Sum() != s.Sum() ||
+		restored.Min() != s.Min() || restored.Max() != s.Max() {
+		t.Fatalf("restored aggregates diverge: %v vs %v", restored, s)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if restored.Quantile(q) != s.Quantile(q) {
+			t.Errorf("q=%v: restored %v, original %v", q, restored.Quantile(q), s.Quantile(q))
+		}
+	}
+	// Restored sketches keep full resolution: merging with a fresh sketch
+	// must still work.
+	if err := restored.Merge(NewQuantileSketch()); err != nil {
+		t.Fatalf("merge after restore: %v", err)
+	}
+	if _, err := SketchFromState(SketchState{}); err == nil {
+		t.Error("zero-value sketch state accepted")
+	}
+}
+
+func TestSummaryAndCounterStateRoundTrip(t *testing.T) {
+	var sum Summary
+	for _, v := range []float64{3, -1, 7.5, 0.25} {
+		sum.Add(v)
+	}
+	back := SummaryFromState(sum.State())
+	if back != sum {
+		t.Fatalf("summary round-trip diverged: %+v vs %+v", back, sum)
+	}
+	c := NewCounter()
+	c.Inc("a", 3)
+	c.Inc("b", 9)
+	rc := CounterFromState(c.State())
+	for _, l := range c.Labels() {
+		if rc.Get(l) != c.Get(l) {
+			t.Errorf("counter %s: %d vs %d", l, rc.Get(l), c.Get(l))
+		}
+	}
+}

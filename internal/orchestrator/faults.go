@@ -28,6 +28,16 @@ type FaultStatus struct {
 	LastFaultKind string `json:"last_fault_kind,omitempty"`
 }
 
+// ScheduledFault is one pending fault event on the orchestrator's
+// clock: plain data (no closure), so the pending queue serializes into
+// SaveState and a restored orchestrator re-registers it by kind.
+type ScheduledFault struct {
+	// At is the absolute clock instant the fault fires.
+	At time.Time `json:"at"`
+	// Fault is the declarative event to apply.
+	Fault events.Fault `json:"fault"`
+}
+
 // InjectScript schedules a fault scenario against the orchestrator's
 // clock: each fault's offset is relative to the current clock value, and
 // timed reverts (crash for=, degrade for=, ...) are expanded
@@ -38,20 +48,15 @@ func (o *Orchestrator) InjectScript(s *events.FaultScript) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	for _, f := range s.Expand() {
+	expanded := s.Expand()
+	for _, f := range expanded {
 		if err := o.checkFaultTarget(f); err != nil {
 			return err
 		}
 	}
-	if o.faults == nil {
-		o.faults = events.NewTimeline()
-	}
 	base := o.now
-	for _, f := range s.Expand() {
-		f := f
-		o.faults.Schedule(base.Add(f.At), string(f.Kind), func(now time.Time) error {
-			return o.applyFault(f, now)
-		})
+	for _, f := range expanded {
+		o.faultQueue = append(o.faultQueue, ScheduledFault{At: base.Add(f.At), Fault: f})
 	}
 	return nil
 }
@@ -81,9 +86,7 @@ func (o *Orchestrator) FaultStatus() FaultStatus {
 		Evictions:     o.faultEvictions,
 		LastFaultKind: o.lastFaultKind,
 	}
-	if o.faults != nil {
-		st.Pending = o.faults.Len()
-	}
+	st.Pending = len(o.faultQueue)
 	if !o.lastFault.IsZero() {
 		st.LastFault = o.lastFault.String()
 	}
@@ -95,23 +98,38 @@ func (o *Orchestrator) FaultStatus() FaultStatus {
 }
 
 // consumeFaults (locked) applies every fault event due at or before the
-// current clock and returns the names of deployments evicted by them.
+// current clock — ordered by (due instant, schedule order), matching the
+// previous timeline semantics — and returns the names of deployments
+// evicted by them.
 func (o *Orchestrator) consumeFaults() ([]string, error) {
-	if o.faults == nil {
+	if len(o.faultQueue) == 0 {
 		return nil, nil
 	}
 	var evicted []string
 	o.evictedNow = o.evictedNow[:0]
-	for ev, ok := o.faults.PopDue(o.now); ok; ev, ok = o.faults.PopDue(o.now) {
-		if err := ev.Apply(o.now); err != nil {
+	for {
+		best := -1
+		for i, sf := range o.faultQueue {
+			if sf.At.After(o.now) {
+				continue
+			}
+			if best < 0 || sf.At.Before(o.faultQueue[best].At) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return evicted, nil
+		}
+		sf := o.faultQueue[best]
+		o.faultQueue = append(o.faultQueue[:best], o.faultQueue[best+1:]...)
+		if err := o.applyFault(sf.Fault, o.now); err != nil {
 			return evicted, err
 		}
 		o.faultsApplied++
-		o.lastFault, o.lastFaultKind = o.now, ev.Kind
+		o.lastFault, o.lastFaultKind = o.now, string(sf.Fault.Kind)
 		evicted = append(evicted, o.evictedNow...)
 		o.evictedNow = o.evictedNow[:0]
 	}
-	return evicted, nil
 }
 
 // checkFaultTarget (locked) rejects faults no cluster entity can match.
@@ -308,11 +326,15 @@ func (o *Orchestrator) scaleOut(f events.Fault) error {
 	for k := 0; k < count; k++ {
 		id := fmt.Sprintf("srv-%s-flash-%d", target.City, o.flashSeq)
 		o.flashSeq++
-		srv := cluster.NewServer(id, target.ID, dev,
-			cluster.NewResources(f.CapacityMilli, 65536, float64(dev.MemMB), 1000))
+		capVec := cluster.NewResources(f.CapacityMilli, 65536, float64(dev.MemMB), 1000)
+		srv := cluster.NewServer(id, target.ID, dev, capVec)
 		if err := target.AddServer(srv); err != nil {
 			return err
 		}
+		// Recorded so SaveState can re-create runtime-added servers.
+		o.flashServers = append(o.flashServers, FlashServerState{
+			ID: id, DCID: target.ID, Device: dev.Name, Capacity: capVec,
+		})
 	}
 	return nil
 }

@@ -1,12 +1,14 @@
 package orchestrator
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/events"
 	"repro/internal/placement"
 	"repro/internal/router"
@@ -25,6 +27,8 @@ import (
 //	GET    /api/v1/placement          live solver stats from the workspace
 //	POST   /api/v1/faults             inject a fault scenario (script or single fault)
 //	GET    /api/v1/faults             live fault-injection status
+//	GET    /api/v1/state              checkpoint: download the full orchestrator state
+//	PUT    /api/v1/state              restore a checkpoint into a fresh orchestrator
 func (o *Orchestrator) API() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/deployments", o.handleDeployments)
@@ -34,13 +38,33 @@ func (o *Orchestrator) API() http.Handler {
 	mux.HandleFunc("/api/v1/traffic", o.handleTraffic)
 	mux.HandleFunc("/api/v1/placement", o.handlePlacement)
 	mux.HandleFunc("/api/v1/faults", o.handleFaults)
+	mux.HandleFunc("/api/v1/state", o.handleState)
 	return mux
 }
 
+// writeJSON encodes v to a buffer first so an encoding failure can still
+// be surfaced as a 500 with an error body — writing the status line
+// before encoding (the previous behaviour) silently truncated the
+// response on encoder errors.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		status = http.StatusInternalServerError
+		buf.Reset()
+		fmt.Fprintf(&buf, `{"error":%q}`, "encoding response: "+err.Error())
+		buf.WriteByte('\n')
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// methodNotAllowed rejects an unsupported method uniformly: 405, an
+// Allow header listing what the endpoint supports, and a JSON error
+// body.
+func methodNotAllowed(w http.ResponseWriter, r *http.Request, allow ...string) {
+	w.Header().Set("Allow", strings.Join(allow, ", "))
+	writeJSON(w, http.StatusMethodNotAllowed, errorBody{fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, strings.Join(allow, ", "))})
 }
 
 type errorBody struct {
@@ -63,7 +87,7 @@ func (o *Orchestrator) handleDeployments(w http.ResponseWriter, r *http.Request)
 		}
 		writeJSON(w, http.StatusAccepted, rec)
 	default:
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, "GET", "POST")
 	}
 }
 
@@ -88,7 +112,7 @@ func (o *Orchestrator) handleDeployment(w http.ResponseWriter, r *http.Request) 
 		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, "GET", "DELETE")
 	}
 }
 
@@ -100,7 +124,7 @@ type placeResponse struct {
 
 func (o *Orchestrator) handlePlace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, "POST")
 		return
 	}
 	placed, rejected, err := o.PlaceBatch()
@@ -123,7 +147,7 @@ type metricsBody struct {
 
 func (o *Orchestrator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, "GET")
 		return
 	}
 	body := metricsBody{
@@ -160,7 +184,7 @@ type placementBody struct {
 
 func (o *Orchestrator) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, "GET")
 		return
 	}
 	stats, batches, ok := o.PlacementStats()
@@ -252,13 +276,13 @@ func (o *Orchestrator) handleFaults(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusAccepted, resp)
 	default:
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, "GET", "POST")
 	}
 }
 
 func (o *Orchestrator) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		w.WriteHeader(http.StatusMethodNotAllowed)
+		methodNotAllowed(w, r, "GET")
 		return
 	}
 	snap, overloads, last, ok := o.TrafficTelemetry()
@@ -277,4 +301,42 @@ func (o *Orchestrator) handleTraffic(w http.ResponseWriter, r *http.Request) {
 		body.LastOverload = last.String()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// stateKind is the checkpoint envelope kind for orchestrator state.
+const stateKind = "orchestrator"
+
+// handleState serves the checkpoint endpoints: GET downloads the full
+// orchestrator state as a versioned checkpoint envelope, PUT restores
+// one into a freshly-started orchestrator (same testbed construction).
+func (o *Orchestrator) handleState(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		st, err := o.SaveState()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+			return
+		}
+		var buf bytes.Buffer
+		if err := checkpoint.Encode(&buf, stateKind, st); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
+	case http.MethodPut:
+		var st State
+		if err := checkpoint.Decode(r.Body, stateKind, &st); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+			return
+		}
+		if err := o.LoadState(st); err != nil {
+			writeJSON(w, http.StatusConflict, errorBody{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"restored": o.Now().String()})
+	default:
+		methodNotAllowed(w, r, "GET", "PUT")
+	}
 }

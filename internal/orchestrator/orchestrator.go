@@ -10,7 +10,6 @@ import (
 	"repro/internal/carbon"
 	"repro/internal/cluster"
 	"repro/internal/energy"
-	"repro/internal/events"
 	"repro/internal/latency"
 	"repro/internal/metrics"
 	"repro/internal/placement"
@@ -64,10 +63,13 @@ type Orchestrator struct {
 	onOverload    func(now time.Time, dropped int64)
 
 	// Live fault injection (InjectFault / POST /api/v1/faults): scheduled
-	// world-dynamics events consumed by Tick. Crashed servers and
-	// degradation factors overlay the placement view in syncWorkspace;
-	// forecast skews multiply the per-zone forecast.
-	faults         *events.Timeline
+	// world-dynamics events consumed by Tick. The queue holds the fault
+	// data itself (not closures), in schedule order, so SaveState can
+	// serialize the not-yet-due events and LoadState re-register them by
+	// kind. Crashed servers and degradation factors overlay the placement
+	// view in syncWorkspace; forecast skews multiply the per-zone
+	// forecast.
+	faultQueue     []ScheduledFault
 	downServers    map[string]bool
 	degraded       map[string]float64 // server ID -> capacity factor
 	fcSkew         map[string]float64 // zone -> forecast factor
@@ -77,6 +79,7 @@ type Orchestrator struct {
 	lastFaultKind  string
 	evictedNow     []string
 	flashSeq       int
+	flashServers   []FlashServerState
 	onEviction     func(now time.Time, evicted []string)
 
 	// DeployLatency measures time from batch start to commit.
@@ -262,8 +265,12 @@ func (o *Orchestrator) syncWorkspace() error {
 			return err
 		}
 		o.ws = ws
+		// Any workspace rebuild (first batch, scale-out growth, a restored
+		// orchestrator) drops the forecast memo with it: the rebuilt view
+		// must never inherit pre-rebuild forecasts.
+		o.invalidateForecasts()
 	}
-	if !o.now.Equal(o.fcAt) {
+	if o.fcCache == nil || !o.now.Equal(o.fcAt) {
 		o.fcCache = map[string]float64{}
 		o.fcAt = o.now
 	}

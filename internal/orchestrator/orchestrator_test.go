@@ -465,3 +465,115 @@ func TestWorkspaceLifecycleAcrossBatches(t *testing.T) {
 		t.Errorf("stats unplaced %d != rejected %d", stats.Unplaced, len(rejected))
 	}
 }
+
+// TestHTTPMethodNotAllowedUniform checks every endpoint rejects
+// unsupported methods the same way: 405, an Allow header naming the
+// supported set, and a JSON error body.
+func TestHTTPMethodNotAllowedUniform(t *testing.T) {
+	o := fixture(t, placement.CarbonAware{})
+	srv := httptest.NewServer(o.API())
+	defer srv.Close()
+
+	cases := []struct {
+		path      string
+		method    string
+		wantAllow string
+	}{
+		{"/api/v1/deployments", http.MethodPut, "GET, POST"},
+		{"/api/v1/deployments", http.MethodDelete, "GET, POST"},
+		{"/api/v1/deployments/some-app", http.MethodPost, "GET, DELETE"},
+		{"/api/v1/place", http.MethodGet, "POST"},
+		{"/api/v1/place", http.MethodDelete, "POST"},
+		{"/api/v1/metrics", http.MethodPost, "GET"},
+		{"/api/v1/traffic", http.MethodPost, "GET"},
+		{"/api/v1/placement", http.MethodPost, "GET"},
+		{"/api/v1/faults", http.MethodPut, "GET, POST"},
+		{"/api/v1/state", http.MethodPost, "GET, PUT"},
+		{"/api/v1/state", http.MethodDelete, "GET, PUT"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body errorBody
+		decErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != tc.wantAllow {
+			t.Errorf("%s %s Allow = %q, want %q", tc.method, tc.path, got, tc.wantAllow)
+		}
+		if decErr != nil || body.Error == "" {
+			t.Errorf("%s %s: no JSON error body (decode err %v)", tc.method, tc.path, decErr)
+		}
+	}
+}
+
+// TestHTTPMalformedJSONRejected feeds malformed or mistyped JSON to
+// every endpoint that decodes a body; all must answer 400 with a JSON
+// error body, never 500 or a silent 2xx.
+func TestHTTPMalformedJSONRejected(t *testing.T) {
+	o := fixture(t, placement.CarbonAware{})
+	srv := httptest.NewServer(o.API())
+	defer srv.Close()
+
+	cases := []struct {
+		path   string
+		method string
+		body   string
+	}{
+		{"/api/v1/deployments", http.MethodPost, "{"},
+		{"/api/v1/deployments", http.MethodPost, `{"name":1}`},
+		{"/api/v1/deployments", http.MethodPost, `{"name":"x","unknown_field":true}`},
+		{"/api/v1/faults", http.MethodPost, "{"},
+		{"/api/v1/faults", http.MethodPost, `{"at":"not-a-duration","kind":"crash","site":"CityA"}`},
+		{"/api/v1/faults", http.MethodPost, `{"script":"at 1h explode site=CityA"}`},
+		{"/api/v1/state", http.MethodPut, "{"},
+		{"/api/v1/state", http.MethodPut, `{"format":"other","version":1,"kind":"orchestrator"}`},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body errorBody
+		decErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s body %q = %d, want 400", tc.method, tc.path, tc.body, resp.StatusCode)
+			continue
+		}
+		if decErr != nil || body.Error == "" {
+			t.Errorf("%s %s: 400 without JSON error body (decode err %v)", tc.method, tc.path, decErr)
+		}
+	}
+}
+
+// brokenPayload cannot be JSON-encoded (channels are unsupported).
+type brokenPayload struct {
+	C chan int
+}
+
+func TestWriteJSONSurfacesEncodeErrors(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, brokenPayload{C: make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("encode failure status = %d, want 500", rec.Code)
+	}
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Errorf("encode failure body %q is not a JSON error", rec.Body.String())
+	}
+}

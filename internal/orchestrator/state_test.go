@@ -1,0 +1,310 @@
+package orchestrator
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/events"
+	"repro/internal/placement"
+)
+
+// mustState saves the orchestrator's state, failing the test on error.
+func mustState(t *testing.T, o *Orchestrator) State {
+	t.Helper()
+	st, err := o.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSaveLoadStateRoundTrip checkpoints a running orchestrator and
+// restores it into a fresh one over an equivalent cluster: deployments,
+// allocations, telemetry, clock, and pending faults must all carry over,
+// and both must evolve identically afterwards.
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	orig := fixture(t, placement.CarbonAware{})
+	deployOne(t, orig, "app-a", "CityA")
+	deployOne(t, orig, "app-b", "CityB")
+	for i := 0; i < 5; i++ {
+		if err := orig.Tick(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fault still pending at snapshot time must survive the restore.
+	if err := orig.InjectFault(events.Fault{
+		At: 2 * time.Hour, Kind: events.FaultCrash, Site: "CityA", For: 3 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := mustState(t, orig)
+
+	restored := fixture(t, placement.CarbonAware{})
+	if err := restored.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Now().Equal(orig.Now()) {
+		t.Errorf("restored clock %v, want %v", restored.Now(), orig.Now())
+	}
+	if restored.CarbonTotalG() != orig.CarbonTotalG() {
+		t.Errorf("restored carbon %v, want %v", restored.CarbonTotalG(), orig.CarbonTotalG())
+	}
+	if restored.EnergyKWh() != orig.EnergyKWh() {
+		t.Errorf("restored energy %v, want %v", restored.EnergyKWh(), orig.EnergyKWh())
+	}
+	if got, want := restored.AppCarbonG("app-a"), orig.AppCarbonG("app-a"); got != want {
+		t.Errorf("restored app-a carbon %v, want %v", got, want)
+	}
+	rd, od := restored.Deployments(), orig.Deployments()
+	if len(rd) != len(od) {
+		t.Fatalf("restored %d deployments, want %d", len(rd), len(od))
+	}
+	for i := range rd {
+		if *rd[i] != *od[i] {
+			t.Errorf("deployment %d diverged: %+v vs %+v", i, rd[i], od[i])
+		}
+	}
+	if got, want := restored.FaultStatus(), orig.FaultStatus(); got.Pending != want.Pending {
+		t.Errorf("restored %d pending faults, want %d", got.Pending, want.Pending)
+	}
+
+	// Both timelines continue identically: the pending crash fires, evicts,
+	// and telemetry stays in lockstep.
+	for i := 0; i < 8; i++ {
+		if err := orig.Tick(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Tick(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if restored.CarbonTotalG() != orig.CarbonTotalG() {
+		t.Errorf("post-restore carbon diverged: %v vs %v", restored.CarbonTotalG(), orig.CarbonTotalG())
+	}
+	fs, fo := restored.FaultStatus(), orig.FaultStatus()
+	if fs.Applied != fo.Applied || fs.Evictions != fo.Evictions {
+		t.Errorf("post-restore fault telemetry diverged: %+v vs %+v", fs, fo)
+	}
+}
+
+// TestLoadStateInvalidatesForecastMemo is the fault-skew-then-restore
+// regression: a forecast-error fault active at snapshot time must drive
+// the restored orchestrator's first placement, not a stale pre-snapshot
+// memo (and symmetrically, a restore must not keep serving the donor's
+// cached view).
+func TestLoadStateInvalidatesForecastMemo(t *testing.T) {
+	// Reference: with a big forecast spike on the green zone, carbon-aware
+	// placement flips to the dirty-but-believed-cleaner DC.
+	skewed := fixture(t, placement.CarbonAware{})
+	if err := skewed.InjectFault(events.Fault{
+		Kind: events.FaultForecastError, Zone: "Z-GREEN", Factor: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := skewed.Tick(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	want := deployOne(t, skewed, "probe", "CityA").DCID
+
+	// Same skewed orchestrator, but checkpointed after the fault applied
+	// and restored into a fresh one that has already warmed its own
+	// forecast memo with the unskewed view at the same clock.
+	donor := fixture(t, placement.CarbonAware{})
+	if err := donor.InjectFault(events.Fault{
+		Kind: events.FaultForecastError, Zone: "Z-GREEN", Factor: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.Tick(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := mustState(t, donor)
+
+	restored := fixture(t, placement.CarbonAware{})
+	if err := restored.Tick(time.Hour); err != nil {
+		t.Fatal(err) // align the clock with the snapshot's, so the memo's
+	} // time key alone cannot save us
+	deployOne(t, restored, "warmup", "CityA") // warms fcCache without skew
+	if err := restored.Undeploy("warmup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	got := deployOne(t, restored, "probe", "CityA").DCID
+	if got != want {
+		t.Errorf("restored orchestrator placed probe on %s, want %s (stale pre-snapshot forecast view served)", got, want)
+	}
+}
+
+func TestLoadStateRequiresFreshOrchestrator(t *testing.T) {
+	orig := fixture(t, placement.CarbonAware{})
+	deployOne(t, orig, "app-a", "CityA")
+	st := mustState(t, orig)
+
+	busy := fixture(t, placement.CarbonAware{})
+	deployOne(t, busy, "other", "CityB")
+	if err := busy.LoadState(st); err == nil {
+		t.Error("LoadState accepted an orchestrator with existing deployments")
+	}
+}
+
+// TestStateRestoresFlashServers covers runtime-added capacity: scale-out
+// servers must exist again after restore, with deployments they host.
+func TestStateRestoresFlashServers(t *testing.T) {
+	orig := fixture(t, placement.CarbonAware{})
+	if err := orig.InjectFault(events.Fault{
+		Kind: events.FaultScaleOut, Site: "CityA", Device: "A2", CapacityMilli: 1000, Count: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Tick(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := mustState(t, orig)
+	if len(st.FlashServers) != 2 {
+		t.Fatalf("state records %d flash servers, want 2", len(st.FlashServers))
+	}
+
+	restored := fixture(t, placement.CarbonAware{})
+	if err := restored.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range st.FlashServers {
+		if _, _, err := restored.cluster.FindServer(fs.ID); err != nil {
+			t.Errorf("flash server %s missing after restore: %v", fs.ID, err)
+		}
+	}
+}
+
+// TestStateHTTPRoundTrip drives the checkpoint through the HTTP API:
+// GET /api/v1/state off a live orchestrator, PUT into a fresh one.
+func TestStateHTTPRoundTrip(t *testing.T) {
+	orig := fixture(t, placement.CarbonAware{})
+	deployOne(t, orig, "app-a", "CityA")
+	for i := 0; i < 3; i++ {
+		if err := orig.Tick(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvA := httptest.NewServer(orig.API())
+	defer srvA.Close()
+	resp, err := http.Get(srvA.URL + "/api/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /state = %d: %s", resp.StatusCode, body.String())
+	}
+	// The artifact is a validated checkpoint envelope.
+	var st State
+	if err := checkpoint.Decode(bytes.NewReader(body.Bytes()), "orchestrator", &st); err != nil {
+		t.Fatalf("GET /state did not produce a checkpoint envelope: %v", err)
+	}
+
+	restored := fixture(t, placement.CarbonAware{})
+	srvB := httptest.NewServer(restored.API())
+	defer srvB.Close()
+	req, err := http.NewRequest(http.MethodPut, srvB.URL+"/api/v1/state", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /state = %d", resp.StatusCode)
+	}
+	if restored.CarbonTotalG() != orig.CarbonTotalG() {
+		t.Errorf("HTTP-restored carbon %v, want %v", restored.CarbonTotalG(), orig.CarbonTotalG())
+	}
+	if len(restored.Deployments()) != 1 {
+		t.Errorf("HTTP-restored orchestrator has %d deployments, want 1", len(restored.Deployments()))
+	}
+
+	// A second PUT hits the freshness guard: 409.
+	req, _ = http.NewRequest(http.MethodPut, srvB.URL+"/api/v1/state", bytes.NewReader(body.Bytes()))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("second PUT /state = %d, want 409", resp.StatusCode)
+	}
+
+	// Corrupted envelope: 400.
+	garbled := bytes.Replace(body.Bytes(), []byte(`"carbon_total_g"`), []byte(`"carbon_totals_"`), 1)
+	req, _ = http.NewRequest(http.MethodPut, srvB.URL+"/api/v1/state", bytes.NewReader(garbled))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("tampered PUT /state = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStateJSONDeterministic(t *testing.T) {
+	// Two saves of the same state must encode identically (sorted maps,
+	// stable slices) — checkpoint diffing relies on it.
+	o := fixture(t, placement.CarbonAware{})
+	deployOne(t, o, "app-a", "CityA")
+	deployOne(t, o, "app-b", "CityB")
+	if err := o.Tick(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(mustState(t, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(mustState(t, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two saves of one state encode differently")
+	}
+}
+
+func TestLoadStateRejectsBeforeMutating(t *testing.T) {
+	// An invalid checkpoint must be rejected before any cluster mutation:
+	// the orchestrator stays fresh, and a corrected checkpoint still
+	// restores cleanly afterwards.
+	orig := fixture(t, placement.CarbonAware{})
+	deployOne(t, orig, "app-a", "CityA")
+	good := mustState(t, orig)
+
+	bad := mustState(t, orig)
+	bad.Deployments[0].Demand = bad.Deployments[0].Demand.Scale(1e9) // cannot fit anywhere
+	fresh := fixture(t, placement.CarbonAware{})
+	if err := fresh.LoadState(bad); err == nil {
+		t.Fatal("over-capacity deployment accepted")
+	}
+	bad = mustState(t, orig)
+	bad.Deployments[0].ServerID = "srv-nowhere"
+	if err := fresh.LoadState(bad); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+
+	// The failed attempts mutated nothing: the corrected state restores.
+	if err := fresh.LoadState(good); err != nil {
+		t.Fatalf("restore after rejected attempts failed: %v", err)
+	}
+	if len(fresh.Deployments()) != 1 {
+		t.Errorf("restored %d deployments, want 1", len(fresh.Deployments()))
+	}
+}

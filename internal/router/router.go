@@ -393,3 +393,99 @@ func (s *Stats) Snapshot() Snapshot {
 	sort.Slice(snap.Replicas, func(i, j int) bool { return snap.Replicas[i].ID < snap.Replicas[j].ID })
 	return snap
 }
+
+// ReplicaStatsState is the serializable form of one replica's aggregates.
+type ReplicaStatsState struct {
+	Requests  int64               `json:"requests"`
+	SLOMet    int64               `json:"slo_met"`
+	Spilled   int64               `json:"spilled"`
+	Latency   metrics.SketchState `json:"latency"`
+	EnergyKWh float64             `json:"energy_kwh"`
+	CarbonG   float64             `json:"carbon_g"`
+}
+
+// StatsState is the serializable form of the router's accumulator, used
+// by checkpoint/restore. Restoring it reproduces every counter, sketch
+// bucket, and attribution total bit-identically.
+type StatsState struct {
+	Requests       int64                        `json:"requests"`
+	SLOMet         int64                        `json:"slo_met"`
+	Spilled        int64                        `json:"spilled"`
+	Dropped        int64                        `json:"dropped"`
+	OverloadSlices int64                        `json:"overload_slices"`
+	Latency        metrics.SketchState          `json:"latency"`
+	EnergyKWh      float64                      `json:"energy_kwh"`
+	CarbonG        float64                      `json:"carbon_g"`
+	ByReplica      map[string]int64             `json:"by_replica,omitempty"`
+	Replicas       map[string]ReplicaStatsState `json:"replicas,omitempty"`
+}
+
+// State exports the accumulator. Callers routing concurrently must hold
+// their own lock (as with Stats).
+func (s *Stats) State() StatsState {
+	st := StatsState{
+		Requests:       s.Requests,
+		SLOMet:         s.SLOMet,
+		Spilled:        s.Spilled,
+		Dropped:        s.Dropped,
+		OverloadSlices: s.OverloadSlices,
+		Latency:        s.Latency.State(),
+		EnergyKWh:      s.EnergyKWh,
+		CarbonG:        s.CarbonG,
+		ByReplica:      s.ByReplica.State(),
+	}
+	if s.Replicas != nil {
+		st.Replicas = make(map[string]ReplicaStatsState, len(s.Replicas))
+		for id, rs := range s.Replicas {
+			st.Replicas[id] = ReplicaStatsState{
+				Requests:  rs.Requests,
+				SLOMet:    rs.SLOMet,
+				Spilled:   rs.Spilled,
+				Latency:   rs.Latency.State(),
+				EnergyKWh: rs.EnergyKWh,
+				CarbonG:   rs.CarbonG,
+			}
+		}
+	}
+	return st
+}
+
+// RestoreStats replaces the router's accumulator with an exported state
+// (a fresh router about to resume a checkpointed run). The per-replica
+// map is rebuilt only when the state carries one, mirroring PerReplica.
+func (r *Router) RestoreStats(st StatsState) error {
+	lat, err := metrics.SketchFromState(st.Latency)
+	if err != nil {
+		return fmt.Errorf("router: restoring latency sketch: %w", err)
+	}
+	stats := Stats{
+		Requests:       st.Requests,
+		SLOMet:         st.SLOMet,
+		Spilled:        st.Spilled,
+		Dropped:        st.Dropped,
+		OverloadSlices: st.OverloadSlices,
+		Latency:        lat,
+		EnergyKWh:      st.EnergyKWh,
+		CarbonG:        st.CarbonG,
+		ByReplica:      metrics.CounterFromState(st.ByReplica),
+	}
+	if r.cfg.PerReplica || st.Replicas != nil {
+		stats.Replicas = make(map[string]*ReplicaStats, len(st.Replicas))
+		for id, rs := range st.Replicas {
+			sk, err := metrics.SketchFromState(rs.Latency)
+			if err != nil {
+				return fmt.Errorf("router: restoring replica %s sketch: %w", id, err)
+			}
+			stats.Replicas[id] = &ReplicaStats{
+				Requests:  rs.Requests,
+				SLOMet:    rs.SLOMet,
+				Spilled:   rs.Spilled,
+				Latency:   sk,
+				EnergyKWh: rs.EnergyKWh,
+				CarbonG:   rs.CarbonG,
+			}
+		}
+	}
+	r.stats = stats
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/rng"
 	"repro/internal/router"
 	"repro/internal/traffic"
 )
@@ -52,7 +53,11 @@ func (f ObserverFunc) OnEpoch(epoch int, now time.Time, res *Result) { f(epoch, 
 type Engine struct {
 	cfg Config
 	w   *World
-	rng *rand.Rand
+	// rngSrc is the exportable-state arrival stream; rng wraps it. All
+	// randomness flows through rngSrc so Snapshot can capture the stream
+	// position and a restored engine resumes it bit-identically.
+	rngSrc *rng.Source
+	rng    *rand.Rand
 
 	sites         []*deploy.Site
 	rtt           [][]float64 // pairwise RTT between site cities
@@ -118,11 +123,13 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sim: no sites in region %v", cfg.Region)
 	}
+	src := rng.NewSource(cfg.Seed)
 	e := &Engine{
-		cfg:   cfg,
-		w:     w,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		sites: sites,
+		cfg:    cfg,
+		w:      w,
+		rngSrc: src,
+		rng:    rand.New(src),
+		sites:  sites,
 	}
 
 	// Latency model per region.

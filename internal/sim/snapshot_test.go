@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/events"
+	"repro/internal/placement"
+	"repro/internal/traffic"
+)
+
+// encodeResult renders a result's serializable state with wall-clock
+// telemetry stripped — the byte-identity the checkpoint subsystem
+// promises.
+func encodeResult(t *testing.T, r *Result) []byte {
+	t.Helper()
+	st := r.State()
+	st.SolveTimeNs = 0
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runInterrupted drives cfg to snapAt epochs, snapshots, round-trips the
+// snapshot through JSON (a restore always comes off disk), restores into
+// a fresh engine, and runs to the end.
+func runInterrupted(t *testing.T, cfg Config, w *World, snapAt int) *Result {
+	t.Helper()
+	e, err := NewEngine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e.Epoch() < snapAt && !e.Done() {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := json.Marshal(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	// Keep stepping the original past the snapshot point before the
+	// restore runs, so shared-state leaks between the two engines show up.
+	for i := 0; i < 3 && !e.Done(); i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewEngineFrom(cfg, w, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != snapAt {
+		t.Fatalf("restored engine at epoch %d, want %d", r.Epoch(), snapAt)
+	}
+	for !r.Done() {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.Finish()
+}
+
+// TestSnapshotRestoreEquivalence is the tentpole proof: for every mode,
+// run-to-N + snapshot + restore + run-to-end is byte-identical to an
+// uninterrupted run. Pairs run on concurrent goroutines over the shared
+// world so -race doubles this as the restore path's data-race check.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	w := testWorld(t)
+	mk := func(mutate func(*Config)) Config {
+		cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+		cfg.Hours = 24 * 8
+		mutate(&cfg)
+		return cfg
+	}
+	crashCity := hotCity(t, mk(func(cfg *Config) {}), w)
+	configs := map[string]Config{
+		"classic": mk(func(cfg *Config) {}),
+		"redeploy": mk(func(cfg *Config) {
+			cfg.RedeployEveryHours = 24
+			cfg.MigrationDataMB, cfg.MigrationJPerMB = 500, 0.2
+		}),
+		"batched": mk(func(cfg *Config) { cfg.BatchHours = 6; cfg.ServersAlwaysOn = false }),
+		"traffic": mk(func(cfg *Config) {
+			cfg.Traffic = &traffic.Config{Scenario: traffic.FlashCrowd, RPS: 900}
+			cfg.CollectLoadCI = true
+		}),
+		"faults": mk(func(cfg *Config) {
+			cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+				{At: 48 * time.Hour, Kind: events.FaultCrash, Site: crashCity, For: 72 * time.Hour},
+				{At: 60 * time.Hour, Kind: events.FaultScaleOut, Site: crashCity, CapacityMilli: 2000, Count: 2},
+				{At: 30 * time.Hour, Kind: events.FaultForecastError, Zone: w.Dep.InRegion(cfg.Region)[0].ZoneID, Factor: 3, For: 100 * time.Hour},
+			}}
+		}),
+		"fixed-loop": mk(func(cfg *Config) { cfg.FixedLoop = true }),
+	}
+	// Snapshot points: the edges, inside the crash window (55), and after
+	// the scale-out with the recover still ahead (100).
+	snapPoints := []int{0, 1, 55, 100, 24 * 8}
+	for name, cfg := range configs {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var uninterrupted *Result
+			var uerr error
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				uninterrupted, uerr = Run(cfg, w)
+			}()
+			interrupted := make([]*Result, len(snapPoints))
+			for i, at := range snapPoints {
+				i, at := i, at
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					interrupted[i] = runInterrupted(t, cfg, w, at)
+				}()
+			}
+			wg.Wait()
+			if uerr != nil {
+				t.Fatal(uerr)
+			}
+			want := encodeResult(t, uninterrupted)
+			for i, at := range snapPoints {
+				if got := encodeResult(t, interrupted[i]); !bytes.Equal(got, want) {
+					t.Errorf("snapshot at epoch %d diverged from uninterrupted run:\nresumed:       %s\nuninterrupted: %s", at, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsMismatchedConfig(t *testing.T) {
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24
+	e, err := NewEngine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.Snapshot()
+
+	other := cfg
+	other.Seed++
+	if _, err := NewEngineFrom(other, w, snap); err == nil {
+		t.Error("snapshot restored under a different seed")
+	}
+	other = cfg
+	other.Policy = placement.LatencyAware{}
+	if _, err := NewEngineFrom(other, w, snap); err == nil {
+		t.Error("snapshot restored under a different policy")
+	}
+	if _, err := NewEngineFrom(cfg, w, nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	bad := *snap
+	bad.Epoch = cfg.Hours + 1
+	if _, err := NewEngineFrom(cfg, w, &bad); err == nil {
+		t.Error("snapshot with out-of-span epoch accepted")
+	}
+}
+
+func TestSnapshotSharesNoMutableState(t *testing.T) {
+	// Stepping the engine after Snapshot must not mutate the snapshot:
+	// checkpoints are often held in memory while the run continues.
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 48
+	e, err := NewEngine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := e.Snapshot()
+	before, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !e.Done() {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("snapshot mutated by continued stepping")
+	}
+}
+
+func TestRestoredResultMatchesDeepEqual(t *testing.T) {
+	// Beyond byte-identical encodings, the restored accumulator itself
+	// must equal the uninterrupted one structurally (counters, summaries,
+	// monthly breakdowns).
+	w := testWorld(t)
+	cfg := shortConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24 * 5
+	uninterrupted, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := runInterrupted(t, cfg, w, 61)
+	if !reflect.DeepEqual(stripClock(uninterrupted), stripClock(resumed)) {
+		t.Errorf("resumed result differs structurally:\nresumed:       %+v\nuninterrupted: %+v",
+			stripClock(resumed), stripClock(uninterrupted))
+	}
+}

@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+)
+
+// Envelope kinds used in sweep journals.
+const (
+	kindGrid  = "sweep-grid"
+	kindPoint = "sweep-point"
+)
+
+// gridSig is the journal's header payload: the declared grid, point by
+// point, so a journal is only ever resumed against the grid that wrote
+// it. Config signatures catch the subtle mismatch (same keys, different
+// parameters) that would silently stitch foreign results.
+type gridSig struct {
+	Keys       []string `json:"keys"`
+	ConfigSigs []string `json:"config_sigs"`
+}
+
+// signature builds the grid's journal header.
+func (g *Grid) signature() gridSig {
+	sig := gridSig{
+		Keys:       make([]string, len(g.Points)),
+		ConfigSigs: make([]string, len(g.Points)),
+	}
+	for i, p := range g.Points {
+		sig.Keys[i] = p.Key
+		sig.ConfigSigs[i] = sim.ConfigSig(p.Config)
+	}
+	return sig
+}
+
+// openJournal opens the grid's resume journal, validates its header
+// against the declared grid (writing the header into a fresh journal),
+// and returns the completed points' results keyed by grid key.
+func (g *Grid) openJournal() (*checkpoint.Journal, map[string]*sim.Result, error) {
+	seen := make(map[string]bool, len(g.Points))
+	for _, p := range g.Points {
+		if seen[p.Key] {
+			return nil, nil, fmt.Errorf("sweep: journaled grids need unique point keys (duplicate %q)", p.Key)
+		}
+		seen[p.Key] = true
+	}
+	j, entries, err := checkpoint.OpenJournal(g.Journal)
+	if err != nil {
+		return nil, nil, err
+	}
+	sig := g.signature()
+	if len(entries) == 0 {
+		if err := j.Append(kindGrid, "", sig); err != nil {
+			j.Close()
+			return nil, nil, err
+		}
+		return j, map[string]*sim.Result{}, nil
+	}
+
+	raw, err := entries[0].Open(kindGrid)
+	if err != nil {
+		j.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s header: %w", g.Journal, err)
+	}
+	var have gridSig
+	if err := json.Unmarshal(raw, &have); err != nil {
+		j.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s header: %w", g.Journal, err)
+	}
+	if len(have.Keys) != len(sig.Keys) {
+		j.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s was written for a %d-point grid, this grid has %d", g.Journal, len(have.Keys), len(sig.Keys))
+	}
+	for i := range sig.Keys {
+		if have.Keys[i] != sig.Keys[i] || have.ConfigSigs[i] != sig.ConfigSigs[i] {
+			j.Close()
+			return nil, nil, fmt.Errorf("sweep: journal %s diverges from this grid at point %d (%q): refusing to stitch foreign results", g.Journal, i, sig.Keys[i])
+		}
+	}
+
+	done := make(map[string]*sim.Result, len(entries)-1)
+	for _, e := range entries[1:] {
+		raw, err := e.Open(kindPoint)
+		if err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("sweep: journal %s entry %q: %w", g.Journal, e.Key, err)
+		}
+		var st sim.ResultState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("sweep: journal %s entry %q: %w", g.Journal, e.Key, err)
+		}
+		if !seen[e.Key] {
+			j.Close()
+			return nil, nil, fmt.Errorf("sweep: journal %s holds result for unknown point %q", g.Journal, e.Key)
+		}
+		res, err := st.Restore()
+		if err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("sweep: journal %s entry %q: %w", g.Journal, e.Key, err)
+		}
+		done[e.Key] = res
+	}
+	return j, done, nil
+}
+
+// runJournaled executes the grid with the resume journal at g.Journal:
+// points the journal already records are returned without re-running
+// (their observers do not fire again), the rest run on the worker pool
+// and are appended as they complete, and the results come back stitched
+// in grid order — bit-identical to a never-interrupted Run.
+func (g *Grid) runJournaled() ([]*sim.Result, error) {
+	j, done, err := g.openJournal()
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	return Map(g.Parallel, len(g.Points), func(i int) (*sim.Result, error) {
+		p := g.Points[i]
+		if res, ok := done[p.Key]; ok {
+			return res, nil
+		}
+		res, err := g.runPoint(i)
+		if err != nil {
+			return nil, err
+		}
+		if err := j.Append(kindPoint, p.Key, res.State()); err != nil {
+			return nil, fmt.Errorf("sweep: journaling point %q: %w", p.Key, err)
+		}
+		return res, nil
+	})
+}

@@ -113,6 +113,15 @@ type Grid struct {
 	// goroutine, so the observer only needs to be safe with respect to
 	// its own point.
 	Observe func(i int, p Point) sim.Observer
+	// Journal, when set, is the path of the grid's resume journal:
+	// completed points are appended as they finish, and a re-run against
+	// an existing journal skips them, re-running only the incomplete
+	// points and stitching results back in grid order — bit-identical to
+	// an uninterrupted run. The journal header pins the declared grid
+	// (keys and config signatures); a journal written for a different
+	// grid is rejected. Journaled grids require unique point keys.
+	// Observers do not fire for points replayed from the journal.
+	Journal string
 }
 
 // Add appends a point to the grid.
@@ -120,26 +129,34 @@ func (g *Grid) Add(key string, cfg sim.Config) {
 	g.Points = append(g.Points, Point{Key: key, Config: cfg})
 }
 
-// Run executes every point and returns the results in grid order.
-func (g *Grid) Run() ([]*sim.Result, error) {
-	return Map(g.Parallel, len(g.Points), func(i int) (*sim.Result, error) {
-		p := g.Points[i]
-		e, err := sim.NewEngine(p.Config, g.World)
-		if err != nil {
+// runPoint executes one grid point to completion.
+func (g *Grid) runPoint(i int) (*sim.Result, error) {
+	p := g.Points[i]
+	e, err := sim.NewEngine(p.Config, g.World)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
+	}
+	if g.Observe != nil {
+		if o := g.Observe(i, p); o != nil {
+			e.AddObserver(o)
+		}
+	}
+	for !e.Done() {
+		if err := e.Step(); err != nil {
 			return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
 		}
-		if g.Observe != nil {
-			if o := g.Observe(i, p); o != nil {
-				e.AddObserver(o)
-			}
-		}
-		for !e.Done() {
-			if err := e.Step(); err != nil {
-				return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
-			}
-		}
-		return e.Finish(), nil
-	})
+	}
+	return e.Finish(), nil
+}
+
+// Run executes every point and returns the results in grid order. With
+// Journal set, completed points recorded there are replayed instead of
+// re-run (see the field doc).
+func (g *Grid) Run() ([]*sim.Result, error) {
+	if g.Journal != "" {
+		return g.runJournaled()
+	}
+	return Map(g.Parallel, len(g.Points), g.runPoint)
 }
 
 // RunMap executes every point and returns the results keyed by Point.Key.

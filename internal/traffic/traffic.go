@@ -15,11 +15,12 @@ package traffic
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"strings"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Scenario selects the temporal shape of the generated workload.
@@ -209,23 +210,21 @@ func (g *Generator) shape(i, hour int) float64 {
 // pure function of (Seed, h): slices may be generated in any order and
 // from concurrent goroutines.
 func (g *Generator) Slice(hour int) []int64 {
-	rng := rand.New(rand.NewSource(hourSeed(g.cfg.Seed, hour)))
+	r := rand.New(rng.NewSource(hourSeed(g.cfg.Seed, hour)))
 	out := make([]int64, len(g.sources))
 	for i := range g.sources {
-		out[i] = poissonCount(rng, g.Rate(i, hour)*3600)
+		out[i] = poissonCount(r, g.Rate(i, hour)*3600)
 	}
 	return out
 }
 
-// hourSeed derives the per-slice RNG seed.
+// hourSeed derives the per-slice RNG seed by hashing the base seed and
+// the hour through the mixer together. Deriving it as base^hash(hour)
+// (the previous scheme) kept the XOR-distance between two base seeds'
+// per-hour streams constant — every workload pair shared one fixed
+// offset across all hours, correlating sweeps that differ only in seed.
 func hourSeed(base int64, hour int) int64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for b := 0; b < 8; b++ {
-		buf[b] = byte(hour >> (8 * b))
-	}
-	h.Write(buf[:])
-	return base ^ int64(h.Sum64())
+	return rng.MixSeed(base, int64(hour))
 }
 
 // poissonCount draws a Poisson(lambda) count: Knuth's product method for

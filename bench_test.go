@@ -40,6 +40,7 @@ func benchSuite(b *testing.B) *experiments.Suite {
 }
 
 func BenchmarkFig1EnergyMix(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig1()
@@ -52,6 +53,7 @@ func BenchmarkFig1EnergyMix(b *testing.B) {
 }
 
 func BenchmarkFig2Snapshot(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig2()
@@ -67,6 +69,7 @@ func BenchmarkFig2Snapshot(b *testing.B) {
 }
 
 func BenchmarkFig3YearlyCI(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig3()
@@ -79,6 +82,7 @@ func BenchmarkFig3YearlyCI(b *testing.B) {
 }
 
 func BenchmarkFig4SpatioTemporal(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Fig4(); err != nil {
@@ -88,6 +92,7 @@ func BenchmarkFig4SpatioTemporal(b *testing.B) {
 }
 
 func BenchmarkTable1Latency(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Table1()
@@ -100,6 +105,7 @@ func BenchmarkTable1Latency(b *testing.B) {
 }
 
 func BenchmarkFig5RadiusCDF(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig5()
@@ -111,6 +117,7 @@ func BenchmarkFig5RadiusCDF(b *testing.B) {
 }
 
 func BenchmarkFig7Profiles(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig7()
@@ -124,6 +131,7 @@ func BenchmarkFig7Profiles(b *testing.B) {
 }
 
 func BenchmarkFig8Florida24h(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig8()
@@ -136,6 +144,7 @@ func BenchmarkFig8Florida24h(b *testing.B) {
 }
 
 func BenchmarkFig9ResponseTime(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig9()
@@ -147,6 +156,7 @@ func BenchmarkFig9ResponseTime(b *testing.B) {
 }
 
 func BenchmarkFig10Regional(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig10()
@@ -162,6 +172,7 @@ func BenchmarkFig10Regional(b *testing.B) {
 }
 
 func BenchmarkFig11YearCDN(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig11()
@@ -175,6 +186,7 @@ func BenchmarkFig11YearCDN(b *testing.B) {
 }
 
 func BenchmarkFig12LatencySweep(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig12()
@@ -187,6 +199,7 @@ func BenchmarkFig12LatencySweep(b *testing.B) {
 }
 
 func BenchmarkFig13Seasonality(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Fig13(); err != nil {
@@ -196,6 +209,7 @@ func BenchmarkFig13Seasonality(b *testing.B) {
 }
 
 func BenchmarkFig14DemandCapacity(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig14()
@@ -209,6 +223,7 @@ func BenchmarkFig14DemandCapacity(b *testing.B) {
 }
 
 func BenchmarkFig15Heterogeneity(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig15()
@@ -231,6 +246,7 @@ func BenchmarkFig15Heterogeneity(b *testing.B) {
 }
 
 func BenchmarkFig16AlphaSweep(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig16()
@@ -242,6 +258,7 @@ func BenchmarkFig16AlphaSweep(b *testing.B) {
 }
 
 func BenchmarkFig17Scalability(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.Fig17()
@@ -255,6 +272,7 @@ func BenchmarkFig17Scalability(b *testing.B) {
 }
 
 func BenchmarkPlacementDecision(b *testing.B) {
+	b.ReportAllocs()
 	// Section 6.5: time to compute one placement decision on the
 	// regional testbed scale (paper: ~3.3 ms).
 	s := benchSuite(b)
@@ -268,6 +286,7 @@ func BenchmarkPlacementDecision(b *testing.B) {
 }
 
 func BenchmarkAblationSolver(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.AblationSolver()
@@ -279,6 +298,7 @@ func BenchmarkAblationSolver(b *testing.B) {
 }
 
 func BenchmarkAblationForecast(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.AblationForecast()
@@ -294,6 +314,7 @@ func BenchmarkAblationForecast(b *testing.B) {
 }
 
 func BenchmarkAblationBatch(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := s.AblationBatch(); err != nil {
@@ -303,6 +324,7 @@ func BenchmarkAblationBatch(b *testing.B) {
 }
 
 func BenchmarkAblationActivation(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.AblationActivation()
@@ -321,6 +343,7 @@ func BenchmarkAblationActivation(b *testing.B) {
 // the host's core count (a single-core machine reports ~1.0x); on >= 4
 // cores the grids are embarrassingly parallel and exceed 1.5x.
 func BenchmarkSweepParallelSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	defer func() { s.Parallel = 0 }()
 	timeGrid := func(name string, parallel int, run func() error) time.Duration {
@@ -347,6 +370,7 @@ func BenchmarkSweepParallelSpeedup(b *testing.B) {
 // --- micro-benchmarks for the substrates ---
 
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	zones := carbon.CuratedZones()
 	gen := carbon.NewGenerator(42)
 	b.ResetTimer()
@@ -356,6 +380,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 }
 
 func BenchmarkHeuristicSolve100x400(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	_ = s
 	prob, err := experiments.SyntheticProblem(100, 400, 7)
@@ -372,6 +397,7 @@ func BenchmarkHeuristicSolve100x400(b *testing.B) {
 }
 
 func BenchmarkExactSolve8x8(b *testing.B) {
+	b.ReportAllocs()
 	prob, err := experiments.SyntheticProblem(8, 8, 7)
 	if err != nil {
 		b.Fatal(err)
@@ -394,6 +420,7 @@ func BenchmarkExactSolve8x8(b *testing.B) {
 // per wall-clock second on one core (the subsystem's acceptance floor,
 // enforced here).
 func BenchmarkTrafficReplay(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	cfg := sim.DefaultConfig(carbon.RegionUS, placement.CarbonAware{})
 	cfg.Hours = 24 * 14
@@ -426,6 +453,7 @@ func BenchmarkTrafficReplay(b *testing.B) {
 // (the acceptance ceiling, enforced here; measured overhead is ~3%).
 // Timings are best-of-5 alternating runs to shrug off scheduler noise.
 func BenchmarkTimelineReplay(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	cfg := sim.DefaultConfig(carbon.RegionUS, placement.CarbonAware{})
 	cfg.Hours = 24 * 14
@@ -478,6 +506,7 @@ func BenchmarkTimelineReplay(b *testing.B) {
 // per-batch speedup (the subsystem's acceptance floor, enforced here;
 // typical is >10x).
 func BenchmarkIncrementalPlacement(b *testing.B) {
+	b.ReportAllocs()
 	const (
 		nServers = 400
 		nCities  = 40
@@ -554,6 +583,7 @@ func BenchmarkIncrementalPlacement(b *testing.B) {
 }
 
 func BenchmarkExtRedeploy(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {
 		r, err := s.ExtRedeploy()

@@ -2,6 +2,7 @@ package carbon
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -79,9 +80,36 @@ func (s *Service) Forecast(zoneID string, now time.Time, horizon int) ([]float64
 	return s.forecast.Forecast(hist, now, horizon)
 }
 
+// MeanForecaster is implemented by forecasters that can produce the
+// horizon mean directly from the raw history window without
+// materializing the per-hour forecast slice. Service.MeanForecast uses
+// this allocation-free path when available; implementations must return
+// exactly timeseries.Mean of what Forecast would return for the same
+// inputs (NaN for an empty horizon).
+type MeanForecaster interface {
+	ForecastMean(history []float64, now time.Time, horizon int) (float64, error)
+}
+
 // MeanForecast returns the mean of the forecast over the horizon — the
 // Ī_j input of the placement formulation (Table 2).
 func (s *Service) MeanForecast(zoneID string, now time.Time, horizon int) (float64, error) {
+	if mf, ok := s.forecast.(MeanForecaster); ok {
+		if _, zoned := s.forecast.(ZoneForecaster); !zoned {
+			// Allocation-free path: no history sub-series, no forecast
+			// slice. Locks here (not nested inside Forecast's RLock).
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			tr := s.traces.Trace(zoneID)
+			if tr == nil {
+				return 0, fmt.Errorf("carbon: no trace for zone %q", zoneID)
+			}
+			i, err := tr.IndexOf(now)
+			if err != nil {
+				return 0, err
+			}
+			return mf.ForecastMean(tr.Values[:i+1], now, horizon)
+		}
+	}
 	f, err := s.Forecast(zoneID, now, horizon)
 	if err != nil {
 		return 0, err
@@ -124,6 +152,36 @@ func (f SeasonalNaive) Forecast(history *timeseries.Series, _ time.Time, horizon
 		out[h] = history.Values[idx]
 	}
 	return out, nil
+}
+
+// ForecastMean implements MeanForecaster: the horizon mean computed
+// with the identical per-hour index walk and summation order Forecast
+// plus timeseries.Mean would use, so the fast path is bit-identical to
+// the slice-materializing one.
+func (f SeasonalNaive) ForecastMean(history []float64, _ time.Time, horizon int) (float64, error) {
+	p := f.Period
+	if p <= 0 {
+		p = 24
+	}
+	n := len(history)
+	if n == 0 {
+		return 0, fmt.Errorf("carbon: seasonal-naive needs history")
+	}
+	if horizon == 0 {
+		return math.NaN(), nil
+	}
+	var sum float64
+	for h := 0; h < horizon; h++ {
+		idx := n - p + h%p
+		for idx >= n {
+			idx -= p
+		}
+		if idx < 0 {
+			idx = n - 1
+		}
+		sum += history[idx]
+	}
+	return sum / float64(horizon), nil
 }
 
 // EWMA forecasts a flat continuation at the exponentially weighted moving

@@ -17,7 +17,6 @@
 package events
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -43,6 +42,12 @@ type Event struct {
 // (At, Seq). The zero value is ready to use. A Timeline is not safe for
 // concurrent use; owners that share one across goroutines (the
 // orchestrator) must hold their own lock.
+//
+// The heap is hand-rolled rather than container/heap: the stdlib
+// interface boxes every Event through interface{} on Push and Pop, which
+// is two heap allocations per scheduled event — the simulator schedules
+// several events per epoch, so the boxing alone broke the zero-alloc
+// epoch budget.
 type Timeline struct {
 	h   eventHeap
 	seq uint64
@@ -55,7 +60,8 @@ func NewTimeline() *Timeline { return &Timeline{} }
 func (t *Timeline) Schedule(at time.Time, kind string, fn Apply) uint64 {
 	seq := t.seq
 	t.seq++
-	heap.Push(&t.h, Event{At: at, Seq: seq, Kind: kind, Apply: fn})
+	t.h = append(t.h, Event{At: at, Seq: seq, Kind: kind, Apply: fn})
+	t.h.up(len(t.h) - 1)
 	return seq
 }
 
@@ -82,25 +88,55 @@ func (t *Timeline) PopDue(now time.Time) (ev Event, ok bool) {
 	if len(t.h) == 0 || t.h[0].At.After(now) {
 		return Event{}, false
 	}
-	return heap.Pop(&t.h).(Event), true
+	ev = t.h[0]
+	n := len(t.h) - 1
+	t.h[0] = t.h[n]
+	t.h[n] = Event{} // release the Apply closure for GC
+	t.h = t.h[:n]
+	if n > 0 {
+		t.h.down(0)
+	}
+	return ev, true
 }
 
-// eventHeap orders events by (At, Seq).
+// eventHeap is a binary min-heap of events ordered by (At, Seq).
 type eventHeap []Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if !h[i].At.Equal(h[j].At) {
 		return h[i].At.Before(h[j].At)
 	}
 	return h[i].Seq < h[j].Seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// up restores the heap property after appending at index i.
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// down restores the heap property after replacing the element at index i.
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }

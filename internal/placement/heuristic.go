@@ -2,7 +2,7 @@ package placement
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 )
@@ -12,13 +12,35 @@ import (
 // CDN-scale instances (hundreds of servers, hundreds of apps per batch) in
 // milliseconds and typically lands within a few percent of the exact
 // optimum (see BenchmarkAblationSolver).
+//
+// The solver owns reusable search scratch (capacity vectors, assignment
+// arrays, validation sets), so repeated solves allocate nothing in steady
+// state. A mutex serializes solves; concurrent callers should prefer one
+// solver per goroutine.
 type HeuristicSolver struct {
 	// MaxPasses caps local-search sweeps (0 = 8).
 	MaxPasses int
+
+	mu  sync.Mutex
+	st  state
+	ids map[string]bool
+	sid map[string]bool
+	// order/options are the greedy-construction ordering scratch.
+	order   []int
+	options []int
 }
 
 // NewHeuristicSolver returns a solver with default search effort.
 func NewHeuristicSolver() *HeuristicSolver { return &HeuristicSolver{} }
+
+// grow resizes b to exactly n elements, reusing capacity when possible.
+// Contents are unspecified; callers overwrite every element.
+func grow[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
 
 // state tracks remaining capacity and power decisions during the search.
 type state struct {
@@ -30,23 +52,23 @@ type state struct {
 	loads    []int // number of apps per server
 }
 
-func newState(p *Problem, pol Policy) *state {
-	st := &state{
-		p:        p,
-		pol:      pol,
-		free:     make([]cluster.Resources, len(p.Servers)),
-		on:       make([]bool, len(p.Servers)),
-		assigned: make([]int, len(p.Apps)),
-		loads:    make([]int, len(p.Servers)),
-	}
-	for j, s := range p.Servers {
-		st.free[j] = s.Free
-		st.on[j] = s.PoweredOn
+// init points the state at a problem, reusing the slices' capacity.
+func (st *state) init(p *Problem, pol Policy) {
+	st.p = p
+	st.pol = pol
+	n, m := len(p.Apps), len(p.Servers)
+	st.free = grow(st.free, m)
+	st.on = grow(st.on, m)
+	st.loads = grow(st.loads, m)
+	st.assigned = grow(st.assigned, n)
+	for j := range p.Servers {
+		st.free[j] = p.Servers[j].Free
+		st.on[j] = p.Servers[j].PoweredOn
+		st.loads[j] = 0
 	}
 	for i := range st.assigned {
 		st.assigned[i] = -1
 	}
-	return st
 }
 
 // placeCost returns the marginal policy cost of placing app i on server j
@@ -97,9 +119,14 @@ func (st *state) unplace(i int) {
 // Solve runs greedy construction + local search. Problems carrying
 // candidate shortlists (the Workspace path) are scanned over the
 // shortlists only; the assignment is identical to the dense scan because
-// every skipped server is infeasible.
+// every skipped server is infeasible. The returned assignment owns its
+// slices (it never aliases solver scratch).
 func (s *HeuristicSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
-	return s.solve(p, pol, nil)
+	a := &Assignment{}
+	if err := s.SolveInto(a, p, pol, nil); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // SolveWarm seeds the search with a previous assignment instead of greedy
@@ -109,14 +136,32 @@ func (s *HeuristicSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
 // cheaper than constructing from scratch when little has changed between
 // epochs. Only warm.ServerOf is read; power states are re-derived.
 func (s *HeuristicSolver) SolveWarm(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
-	return s.solve(p, pol, warm)
-}
-
-func (s *HeuristicSolver) solve(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
-	if err := p.Validate(); err != nil {
+	a := &Assignment{}
+	if err := s.SolveInto(a, p, pol, warm); err != nil {
 		return nil, err
 	}
-	st := newState(p, pol)
+	return a, nil
+}
+
+// SolveInto is Solve/SolveWarm writing the result into dst, reusing
+// dst's slice capacity — the allocation-free form for per-epoch solver
+// loops. A nil warm runs greedy construction; otherwise warm seeds the
+// search as in SolveWarm. On error dst is left unspecified.
+func (s *HeuristicSolver) SolveInto(dst *Assignment, p *Problem, pol Policy, warm *Assignment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	clear(s.ids)
+	clear(s.sid)
+	if s.ids == nil {
+		s.ids = make(map[string]bool, len(p.Apps))
+		s.sid = make(map[string]bool, len(p.Servers))
+	}
+	if err := p.validateWith(s.ids, s.sid); err != nil {
+		return err
+	}
+	st := &s.st
+	st.init(p, pol)
 
 	if warm != nil && len(warm.ServerOf) == len(p.Apps) {
 		// Warm start: re-commit the previous epoch's placements that are
@@ -131,13 +176,26 @@ func (s *HeuristicSolver) solve(p *Problem, pol Policy, warm *Assignment) (*Assi
 		// feasible servers), each on its cheapest feasible server. This is
 		// the classic most-constrained-variable heuristic and avoids
 		// painting flexible apps into constrained servers.
-		order := make([]int, len(p.Apps))
-		options := make([]int, len(p.Apps))
+		s.order = grow(s.order, len(p.Apps))
+		s.options = grow(s.options, len(p.Apps))
+		order, options := s.order, s.options
 		for i := range order {
 			order[i] = i
-			options[i] = len(p.FeasibleServers(i))
+			options[i] = p.countFeasible(i)
 		}
-		sort.SliceStable(order, func(a, b int) bool { return options[order[a]] < options[order[b]] })
+		// Stable insertion sort by option count: stable sorts produce a
+		// unique permutation, so this matches the previous
+		// sort.SliceStable byte for byte without its closure allocation.
+		for a := 1; a < len(order); a++ {
+			v := order[a]
+			k := options[v]
+			b := a - 1
+			for b >= 0 && options[order[b]] > k {
+				order[b+1] = order[b]
+				b--
+			}
+			order[b+1] = v
+		}
 
 		for _, i := range order {
 			best, bestCost := -1, math.Inf(1)
@@ -196,7 +254,18 @@ func (s *HeuristicSolver) solve(p *Problem, pol Policy, warm *Assignment) (*Assi
 		}
 	}
 
-	return &Assignment{ServerOf: st.assigned, PowerOn: st.on, Unplaced: stillUnplaced(st.assigned)}, nil
+	dst.ServerOf = append(dst.ServerOf[:0], st.assigned...)
+	dst.PowerOn = append(dst.PowerOn[:0], st.on...)
+	dst.Unplaced = dst.Unplaced[:0]
+	for i, j := range st.assigned {
+		if j < 0 {
+			dst.Unplaced = append(dst.Unplaced, i)
+		}
+	}
+	if len(dst.Unplaced) == 0 {
+		dst.Unplaced = nil
+	}
+	return nil
 }
 
 // moveAwareCost is app i's current cost on server j, crediting the
@@ -208,14 +277,4 @@ func (st *state) moveAwareCost(i, j int) float64 {
 		c += st.pol.ActivationCost(st.p, j)
 	}
 	return c
-}
-
-func stillUnplaced(assigned []int) []int {
-	var out []int
-	for i, j := range assigned {
-		if j < 0 {
-			out = append(out, i)
-		}
-	}
-	return out
 }

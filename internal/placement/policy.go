@@ -83,10 +83,13 @@ func (IntensityAware) ActivationCost(p *Problem, j int) float64 { return 0 }
 // CarbonEdge; alpha = 1 is Energy-aware.
 type CarbonEnergyBlend struct {
 	Alpha float64
-	// normalization ranges, computed lazily per problem via Prepare.
-	prepared   *Problem
-	pMin, pMax float64 // power range over feasible pairs
-	fMin, fMax float64 // carbon range over feasible pairs
+	// normalization ranges, computed lazily per problem contents. A
+	// Workspace reuses one Problem value across batches, so the cache
+	// keys on (pointer, generation), not pointer identity alone.
+	prepared    *Problem
+	preparedGen uint64
+	pMin, pMax  float64 // power range over feasible pairs
+	fMin, fMax  float64 // carbon range over feasible pairs
 }
 
 // NewCarbonEnergyBlend builds the Eq. 8 objective for a given alpha.
@@ -107,7 +110,7 @@ func (b *CarbonEnergyBlend) Name() string {
 
 // prepare computes min-max normalization ranges over feasible pairs.
 func (b *CarbonEnergyBlend) prepare(p *Problem) {
-	if b.prepared == p {
+	if b.prepared == p && b.preparedGen == p.gen {
 		return
 	}
 	first := true
@@ -138,6 +141,7 @@ func (b *CarbonEnergyBlend) prepare(p *Problem) {
 		}
 	}
 	b.prepared = p
+	b.preparedGen = p.gen
 }
 
 // activationShare spreads a server's base power over the apps that could

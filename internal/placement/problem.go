@@ -90,6 +90,12 @@ type Problem struct {
 	// allServers is the lazily-built identity shortlist used when
 	// Candidates is nil.
 	allServers []int
+
+	// gen distinguishes successive contents of a reused Problem value: a
+	// Workspace reassembles the same view in place every batch, so
+	// pointer identity alone cannot key policy-side caches (see
+	// CarbonEnergyBlend.prepare).
+	gen uint64
 }
 
 // CandidatesOf returns app i's candidate server indices in ascending
@@ -143,6 +149,12 @@ func NewProblem(apps []App, servers []Server) *Problem {
 
 // Validate checks structural consistency.
 func (p *Problem) Validate() error {
+	return p.validateWith(map[string]bool{}, map[string]bool{})
+}
+
+// validateWith is Validate over caller-provided (empty) ID sets, letting
+// hot-loop callers reuse the two uniqueness maps across solves.
+func (p *Problem) validateWith(ids, sids map[string]bool) error {
 	n, m := len(p.Apps), len(p.Servers)
 	if n == 0 {
 		return fmt.Errorf("placement: empty application batch")
@@ -153,14 +165,12 @@ func (p *Problem) Validate() error {
 	if len(p.Demand) != n || len(p.PowerW) != n || len(p.LatencyMs) != n || len(p.Compatible) != n {
 		return fmt.Errorf("placement: matrix row count mismatch")
 	}
-	ids := map[string]bool{}
 	for _, a := range p.Apps {
 		if ids[a.ID] {
 			return fmt.Errorf("placement: duplicate app ID %q", a.ID)
 		}
 		ids[a.ID] = true
 	}
-	sids := map[string]bool{}
 	for _, s := range p.Servers {
 		if sids[s.ID] {
 			return fmt.Errorf("placement: duplicate server ID %q", s.ID)
@@ -214,6 +224,18 @@ func (p *Problem) FeasibleServers(i int) []int {
 		}
 	}
 	return out
+}
+
+// countFeasible is len(FeasibleServers(i)) without materializing the
+// index slice.
+func (p *Problem) countFeasible(i int) int {
+	n := 0
+	for _, j := range p.CandidatesOf(i) {
+		if p.Feasible(i, j) {
+			n++
+		}
+	}
+	return n
 }
 
 // Assignment is a solved placement: x and y of the formulation.

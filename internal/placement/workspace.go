@@ -64,6 +64,16 @@ type Workspace struct {
 	// assembly proportional to the batch, not the world.
 	scratch scratchArena
 	last    *Problem // previous Problem view; its cells get wiped lazily
+
+	// view, candBuf, and serversBuf are the reusable Problem shell:
+	// Problem returns &view with its Candidates rows and Servers snapshot
+	// backed by these buffers, so assembling a batch view allocates
+	// nothing in steady state. They are valid until the next Problem call
+	// (the contract Problem already documents for the matrices).
+	view       Problem
+	viewGen    uint64
+	candBuf    [][]int
+	serversBuf []Server
 }
 
 // scratchArena holds the reusable matrix backing for Problem views.
@@ -380,11 +390,13 @@ func (ws *Workspace) candidates(a App) []int {
 // dense server axis. The returned problem snapshots the server state: a
 // later CommitAssignment does not mutate it.
 //
-// The problem's matrices live in a reused arena: they are valid until the
-// next Problem call on this workspace, and numeric cells outside an app's
-// candidate list are unspecified (Compatible is false there, which is the
-// gate every consumer checks). Callers that retain a batch's problem
-// across batches, or read non-candidate cells, must copy what they need.
+// The whole view — the Problem struct, its matrices, its Candidates
+// rows, and its Servers snapshot — lives in reused workspace buffers:
+// everything is valid until the next Problem call on this workspace, and
+// numeric cells outside an app's candidate list are unspecified
+// (Compatible is false there, which is the gate every consumer checks).
+// Callers that retain a batch's problem across batches, or read
+// non-candidate cells, must copy what they need.
 func (ws *Workspace) Problem(apps []App) (*Problem, error) {
 	for _, a := range apps {
 		if a.RatePerSec < 0 {
@@ -392,7 +404,11 @@ func (ws *Workspace) Problem(apps []App) (*Problem, error) {
 		}
 	}
 	p := ws.scratchProblem(apps)
-	p.Candidates = make([][]int, len(apps))
+	if cap(ws.candBuf) < len(apps) {
+		ws.candBuf = make([][]int, len(apps))
+	}
+	ws.candBuf = ws.candBuf[:len(apps)]
+	p.Candidates = ws.candBuf
 	for i, a := range apps {
 		cand := ws.candidates(a)
 		p.Candidates[i] = cand
@@ -449,14 +465,18 @@ func (ws *Workspace) scratchProblem(apps []App) *Problem {
 		sc.rowsL = append(sc.rowsL, sc.lat[lo:hi:hi])
 		sc.rowsC = append(sc.rowsC, sc.compat[lo:hi:hi])
 	}
-	return &Problem{
+	ws.serversBuf = append(ws.serversBuf[:0], ws.servers...)
+	ws.viewGen++
+	ws.view = Problem{
 		Apps:       apps,
-		Servers:    ws.Servers(),
+		Servers:    ws.serversBuf,
 		Demand:     sc.rowsD[:n],
 		PowerW:     sc.rowsP[:n],
 		LatencyMs:  sc.rowsL[:n],
 		Compatible: sc.rowsC[:n],
+		gen:        ws.viewGen,
 	}
+	return &ws.view
 }
 
 // SolveStats is the live solver telemetry a workspace-backed layer

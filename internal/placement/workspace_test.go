@@ -206,6 +206,58 @@ func TestWorkspaceIncrementalEquivalence(t *testing.T) {
 	}
 }
 
+// TestBlendNormalizationTracksReusedView pins the fix for a staleness
+// bug: CarbonEnergyBlend caches its min-max normalization ranges per
+// Problem, and a Workspace reassembles one Problem value in place every
+// batch. Solving only workspace views back to back — the engine's steady
+// state, where the pointer never changes between solves — must still
+// recompute the ranges whenever the view's contents change.
+func TestBlendNormalizationTracksReusedView(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := randomWSInstance(rng, 0, 10)
+	ws, err := NewWorkspace(inst.servers, inst.rtt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := append([]Server(nil), inst.servers...)
+	solver := NewHeuristicSolver()
+	reused := NewCarbonEnergyBlend(0.5) // sees only &ws.view, epoch after epoch
+	for epoch := 0; epoch < 6; epoch++ {
+		for j := range servers {
+			ci := 10 + rng.Float64()*800
+			servers[j].Intensity = ci
+			ws.UpdateIntensity(j, ci)
+		}
+		batch := randomWSInstance(rng, 3+rng.Intn(3), 0).apps
+		for i := range batch {
+			batch[i].ID = fmt.Sprintf("e%d-%s", epoch, batch[i].ID)
+		}
+
+		sparse, err := ws.Problem(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Solving primes (or wrongly skips re-priming) the reused blend's
+		// cached ranges, exactly like the engine's per-epoch solve.
+		if _, err := solver.Solve(sparse, reused); err != nil {
+			t.Fatal(err)
+		}
+		// A fresh blend computes the ranges from this epoch's contents;
+		// the reused one must agree on every feasible pair cost.
+		fresh := NewCarbonEnergyBlend(0.5)
+		for i := range sparse.Apps {
+			for _, j := range sparse.CandidatesOf(i) {
+				if !sparse.Feasible(i, j) {
+					continue
+				}
+				if got, want := reused.PairCost(sparse, i, j), fresh.PairCost(sparse, i, j); got != want {
+					t.Fatalf("epoch %d: stale normalization on reused view: PairCost(%d,%d) = %v, fresh blend says %v", epoch, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestWorkspaceCommitReleaseRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	inst := randomWSInstance(rng, 5, 6)

@@ -103,3 +103,13 @@ func MixSeed(words ...int64) int64 {
 	}
 	return int64(Mix(u...))
 }
+
+// MixSeed2 is MixSeed for exactly two words. It is the allocation-free
+// form hot paths use (the variadic MixSeed heap-allocates its argument
+// slice on every call): MixSeed2(a, b) == MixSeed(a, b) for all inputs.
+func MixSeed2(a, b int64) int64 {
+	acc := uint64(gamma)
+	acc = mix64(acc + gamma + uint64(a))
+	acc = mix64(acc + gamma + uint64(b))
+	return int64(acc)
+}

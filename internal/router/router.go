@@ -32,6 +32,10 @@ type Replica struct {
 	ID string
 	// City is the hosting city (the latency-lookup endpoint).
 	City string
+	// Loc is the hosting city's index in the caller's location universe,
+	// used by the index-keyed RouteAt/Config.RTTAt fast path. Callers that
+	// route only by name (Route + Config.RTT) may leave it zero.
+	Loc int
 	// ZoneID is the hosting carbon zone, used for attribution.
 	ZoneID string
 	// CapacityRPS is the replica's sustainable request rate.
@@ -50,6 +54,11 @@ type Config struct {
 	// RTT returns the round-trip network latency in milliseconds between
 	// a source city and a hosting city.
 	RTT func(src, dst string) float64
+	// RTTAt, when set, is the index-keyed RTT oracle used by
+	// Slice.RouteAt: round-trip latency between a source location index
+	// and Replica.Loc. Index lookups avoid the per-request string-map
+	// hashing that dominates hot routing loops.
+	RTTAt func(src, dst int) float64
 	// PerReplica enables per-replica latency sketches and carbon
 	// aggregates (the orchestrator's live stats); when false only the
 	// request counter per replica ID is kept.
@@ -117,6 +126,10 @@ func (s *Stats) DropRate() float64 {
 type Router struct {
 	cfg   Config
 	stats Stats
+	// reuse is the router-owned slice handed out by ReuseSlice; its
+	// buffers persist across slices so steady-state routing is
+	// allocation-free.
+	reuse *Slice
 }
 
 // New builds a router.
@@ -143,6 +156,10 @@ func (r *Router) Stats() *Stats { return &r.stats }
 
 // Slice is one routing window over a fixed replica set: replicas' free
 // capacity depletes as sources are routed, then the slice is closed.
+//
+// Per-replica zone carbon intensity is memoized on first use within a
+// slice, so the intensity oracle must be stable for a slice's lifetime
+// (both the simulator and the orchestrator freeze intensity per window).
 type Slice struct {
 	r        *Router
 	replicas []Replica
@@ -152,20 +169,69 @@ type Slice struct {
 	served  []int64
 	dropped int64
 	closed  bool
+	// lat, feasible, and infeasible are per-Route partition scratch,
+	// reused across Route calls.
+	lat        []float64
+	feasible   []int
+	infeasible []int
+	// zi memoizes each replica's zone carbon intensity for the slice;
+	// ziOK marks which entries are populated.
+	zi   []float64
+	ziOK []bool
+}
+
+// reslice grows b to exactly n elements, reusing capacity when possible.
+// Contents are unspecified; callers overwrite every element.
+func reslice[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
+// reset points the slice at a replica set and refills its budgets.
+func (s *Slice) reset(replicas []Replica, seconds float64) {
+	n := len(replicas)
+	s.replicas = replicas
+	s.free = reslice(s.free, n)
+	s.served = reslice(s.served, n)
+	s.lat = reslice(s.lat, n)
+	s.zi = reslice(s.zi, n)
+	s.ziOK = reslice(s.ziOK, n)
+	s.feasible = s.feasible[:0]
+	s.infeasible = s.infeasible[:0]
+	s.dropped = 0
+	s.closed = false
+	for i := range replicas {
+		s.free[i] = replicas[i].CapacityRPS * seconds
+		s.served[i] = 0
+		s.ziOK[i] = false
+	}
 }
 
 // NewSlice opens a routing window of the given duration over a replica
-// set. The replica order is the deterministic tie-break order.
+// set. The replica order is the deterministic tie-break order. Each call
+// returns an independent slice, so concurrently opened slices (over
+// distinct routers) never share scratch; hot loops over a single router
+// should prefer ReuseSlice.
 func (r *Router) NewSlice(replicas []Replica, seconds float64) *Slice {
-	s := &Slice{
-		r:        r,
-		replicas: replicas,
-		free:     make([]float64, len(replicas)),
-		served:   make([]int64, len(replicas)),
+	s := &Slice{r: r}
+	s.reset(replicas, seconds)
+	return s
+}
+
+// ReuseSlice opens a routing window over the router-owned reusable
+// slice: after the first call, opening and routing a slice performs no
+// steady-state allocations. At most one reused slice may be live per
+// router at a time — the caller must Close it before the next
+// ReuseSlice call. Routing behavior is identical to NewSlice.
+func (r *Router) ReuseSlice(replicas []Replica, seconds float64) *Slice {
+	s := r.reuse
+	if s == nil {
+		s = &Slice{r: r}
+		r.reuse = s
 	}
-	for i, rep := range replicas {
-		s.free[i] = rep.CapacityRPS * seconds
-	}
+	s.reset(replicas, seconds)
 	return s
 }
 
@@ -180,20 +246,53 @@ func (s *Slice) Route(src string, count int64, intensity func(zoneID string) flo
 
 	// Partition replicas by SLO feasibility for this source, preserving
 	// replica order.
-	lat := make([]float64, len(s.replicas))
-	var feasible, infeasible []int
-	for i, rep := range s.replicas {
-		lat[i] = s.r.cfg.RTT(src, rep.City) + rep.ServiceMs
-		if lat[i] <= s.r.cfg.SLOms {
-			feasible = append(feasible, i)
+	s.feasible = s.feasible[:0]
+	s.infeasible = s.infeasible[:0]
+	for i := range s.replicas {
+		rep := &s.replicas[i]
+		s.lat[i] = s.r.cfg.RTT(src, rep.City) + rep.ServiceMs
+		if s.lat[i] <= s.r.cfg.SLOms {
+			s.feasible = append(s.feasible, i)
 		} else {
-			infeasible = append(infeasible, i)
+			s.infeasible = append(s.infeasible, i)
 		}
 	}
+	s.fill(count, intensity)
+}
 
-	left := s.waterfill(count, feasible, src, lat, false, intensity)
+// RouteAt is Route with an index-keyed source location, using
+// Config.RTTAt against each Replica.Loc. It avoids the per-source
+// string-map RTT lookups of Route; behavior is otherwise identical.
+func (s *Slice) RouteAt(srcLoc int, count int64, intensity func(zoneID string) float64) {
+	if count <= 0 || s.closed {
+		return
+	}
+	rttAt := s.r.cfg.RTTAt
+	if rttAt == nil {
+		panic("router: RouteAt requires Config.RTTAt")
+	}
+	s.r.stats.Requests += count
+
+	s.feasible = s.feasible[:0]
+	s.infeasible = s.infeasible[:0]
+	for i := range s.replicas {
+		rep := &s.replicas[i]
+		s.lat[i] = rttAt(srcLoc, rep.Loc) + rep.ServiceMs
+		if s.lat[i] <= s.r.cfg.SLOms {
+			s.feasible = append(s.feasible, i)
+		} else {
+			s.infeasible = append(s.infeasible, i)
+		}
+	}
+	s.fill(count, intensity)
+}
+
+// fill runs the two-phase waterfill over the partition built by
+// Route/RouteAt and records any unplaceable remainder as dropped.
+func (s *Slice) fill(count int64, intensity func(string) float64) {
+	left := s.waterfill(count, s.feasible, false, intensity)
 	if left > 0 {
-		left = s.waterfill(left, infeasible, src, lat, true, intensity)
+		left = s.waterfill(left, s.infeasible, true, intensity)
 	}
 	if left > 0 {
 		s.r.stats.Dropped += left
@@ -205,7 +304,7 @@ func (s *Slice) Route(src string, count int64, intensity func(zoneID string) flo
 // proportion to their remaining capacity, iterating as replicas saturate;
 // it returns the demand that found no capacity. spill marks the requests
 // as spill-over (served past the SLO).
-func (s *Slice) waterfill(count int64, idxs []int, src string, lat []float64, spill bool, intensity func(string) float64) int64 {
+func (s *Slice) waterfill(count int64, idxs []int, spill bool, intensity func(string) float64) int64 {
 	left := count
 	for left > 0 {
 		var totalFree float64
@@ -239,7 +338,7 @@ func (s *Slice) waterfill(count int64, idxs []int, src string, lat []float64, sp
 			if n == 0 {
 				continue
 			}
-			s.assign(i, n, src, lat[i], spill, intensity)
+			s.assign(i, n, s.lat[i], spill, intensity)
 			s.free[i] -= float64(n)
 			rem -= n
 			progressed = true
@@ -252,9 +351,20 @@ func (s *Slice) waterfill(count int64, idxs []int, src string, lat []float64, sp
 	return left
 }
 
+// zoneIntensity returns replica i's memoized zone carbon intensity.
+func (s *Slice) zoneIntensity(i int, intensity func(string) float64) float64 {
+	if !s.ziOK[i] {
+		s.zi[i] = intensity(s.replicas[i].ZoneID)
+		s.ziOK[i] = true
+	}
+	return s.zi[i]
+}
+
 // assign commits n requests to replica i and records their telemetry.
-func (s *Slice) assign(i int, n int64, src string, latMs float64, spill bool, intensity func(string) float64) {
-	rep := s.replicas[i]
+// Per-replica request counts accumulate in served and flow into
+// Stats.ByReplica when the slice closes.
+func (s *Slice) assign(i int, n int64, latMs float64, spill bool, intensity func(string) float64) {
+	rep := &s.replicas[i]
 	st := &s.r.stats
 	s.served[i] += n
 
@@ -266,10 +376,9 @@ func (s *Slice) assign(i int, n int64, src string, latMs float64, spill bool, in
 		st.Spilled += n
 	}
 	st.Latency.AddN(latMs, n)
-	st.ByReplica.Inc(rep.ID, n)
 
 	kwh := float64(n) * rep.EnergyPerReqJ / 3.6e6
-	grams := kwh * intensity(rep.ZoneID)
+	grams := kwh * s.zoneIntensity(i, intensity)
 	st.EnergyKWh += kwh
 	st.CarbonG += grams
 
@@ -293,19 +402,27 @@ func (s *Slice) assign(i int, n int64, src string, latMs float64, spill bool, in
 }
 
 // Served returns the per-replica request counts assigned so far this
-// slice (indexed like the replica set; do not modify).
+// slice (indexed like the replica set; do not modify). For a reused
+// slice the backing array is recycled by the next ReuseSlice call.
 func (s *Slice) Served() []int64 { return s.served }
 
 // Dropped returns the requests dropped so far this slice.
 func (s *Slice) Dropped() int64 { return s.dropped }
 
-// Close finalizes the slice: a slice that dropped requests marks one
-// overload interval. Closing twice is a no-op.
+// Close finalizes the slice: per-replica served counts flush into
+// Stats.ByReplica (one Inc per replica instead of one per waterfill
+// assignment) and a slice that dropped requests marks one overload
+// interval. Stats readers must wait for Close. Closing twice is a no-op.
 func (s *Slice) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
+	for i, n := range s.served {
+		if n > 0 {
+			s.r.stats.ByReplica.Inc(s.replicas[i].ID, n)
+		}
+	}
 	if s.dropped > 0 {
 		s.r.stats.OverloadSlices++
 	}
@@ -359,6 +476,8 @@ func q(sk *metrics.QuantileSketch, p float64) float64 {
 }
 
 // Snapshot summarizes the stats, with per-replica rows sorted by ID.
+// The per-replica row slice is sized up front, so a scrape performs one
+// bounded allocation rather than growing by append.
 func (s *Stats) Snapshot() Snapshot {
 	snap := Snapshot{
 		Requests:       s.Requests,
@@ -372,6 +491,9 @@ func (s *Stats) Snapshot() Snapshot {
 		P99Ms:          q(s.Latency, 0.99),
 		EnergyKWh:      s.EnergyKWh,
 		CarbonG:        s.CarbonG,
+	}
+	if len(s.Replicas) > 0 {
+		snap.Replicas = make([]ReplicaSnapshot, 0, len(s.Replicas))
 	}
 	for id, rs := range s.Replicas {
 		row := ReplicaSnapshot{

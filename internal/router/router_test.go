@@ -285,3 +285,45 @@ func TestPoolDrainsMidSlice(t *testing.T) {
 		t.Errorf("latency samples %d != served %d", st.Latency.Count(), served)
 	}
 }
+
+// TestReuseRouteAtZeroAlloc locks in the router's steady-state allocation
+// contract: after one warm cycle, the ReuseSlice + RouteAt + Close loop —
+// the simulator's per-epoch path — performs zero heap allocations.
+func TestReuseRouteAtZeroAlloc(t *testing.T) {
+	rttAt := func(src, dst int) float64 {
+		if src == dst {
+			return 0
+		}
+		return 5
+	}
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT, RTTAt: rttAt})
+	reps := testReplicas()
+	for i := range reps {
+		reps[i].Loc = i
+	}
+	cycle := func() {
+		sl := r.ReuseSlice(reps, 100)
+		sl.RouteAt(0, 500, flatCI)
+		sl.RouteAt(1, 400, flatCI)
+		sl.Close()
+	}
+	cycle() // warm: grows scratch buffers and telemetry keys once
+	if got := testing.AllocsPerRun(200, cycle); got != 0 {
+		t.Errorf("reused routing cycle allocates %.2f/op, want 0", got)
+	}
+}
+
+// TestStatsSnapshotAllocsBounded pins the scrape path: a Snapshot of
+// per-replica stats performs a small constant number of allocations
+// (pre-sized row slice plus sort scaffolding), not one per replica or
+// per scrape-history.
+func TestStatsSnapshotAllocsBounded(t *testing.T) {
+	r := mustRouter(t, Config{SLOms: 20, RTT: testRTT, PerReplica: true})
+	sl := r.NewSlice(testReplicas(), 100)
+	sl.Route("Miami", 900, flatCI)
+	sl.Close()
+	st := r.Stats()
+	if got := testing.AllocsPerRun(100, func() { _ = st.Snapshot() }); got > 6 {
+		t.Errorf("stats scrape allocates %.1f/op, want a small constant", got)
+	}
+}

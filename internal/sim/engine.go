@@ -63,7 +63,12 @@ type Engine struct {
 	rtt           [][]float64 // pairwise RTT between site cities
 	siteIdxByCity map[string]int
 	demandW       []float64
-	servers       []*siteServer
+	servers       []siteServer
+
+	// zoneSlot/zoneSlotOfSite index the region's distinct carbon zones,
+	// backing the slot-keyed (not map-keyed) per-epoch memos below.
+	zoneSlot       map[string]int
+	zoneSlotOfSite []int
 
 	svc     *carbon.Service
 	horizon int
@@ -74,9 +79,19 @@ type Engine struct {
 	// shortlists across every batch and the redeploy path. Server state
 	// is synced into it from the engine's aggregate site servers before
 	// each solve; intensities update on the carbon clock.
-	ws      *placement.Workspace
-	fcCache map[string]float64 // zone -> mean forecast, valid at fcAt
-	fcAt    time.Time
+	ws *placement.Workspace
+	// fcVal is the per-zone-slot mean-forecast memo; a slot is valid when
+	// fcGenS[slot] == fcGen, and bumping fcGen (new epoch instant)
+	// invalidates every slot without clearing.
+	fcVal  []float64
+	fcGenS []int
+	fcGen  int
+	fcAt   time.Time
+	// ciVal is the per-zone-slot current-intensity memo, same scheme.
+	ciVal  []float64
+	ciGenS []int
+	ciGen  int
+	ciAt   time.Time
 	// rebuild forces the legacy dense placement.Build path on every
 	// batch (test hook for the workspace-vs-rebuild equivalence suite).
 	rebuild bool
@@ -97,20 +112,57 @@ type Engine struct {
 	downCount int
 	evictSeq  int
 
-	res     *Result
-	live    []*liveApp
-	pending []pendingApp
-	appSeq  int
-	start   time.Time
-	epoch   int
+	res  *Result
+	live []liveApp
+	// pending accrues arrivals between batch drains; pendingSpare is the
+	// previous drained batch's backing array, swapped back in as the next
+	// accumulation buffer so the backlog double-buffers instead of
+	// reallocating every drain.
+	pending      []pendingApp
+	pendingSpare []pendingApp
+	appSeq       int
+	start        time.Time
+	epoch        int
+
+	// Pre-bound phase closures: method values are bound once at build
+	// time so scheduleEpoch stays allocation-free on the hot path.
+	phFaults, phCarbon, phDepart, phRedeploy events.Apply
+	phArrive, phPlace, phTraffic, phAccrue   events.Apply
+
+	// Hot-loop scratch, reused every epoch (wiped in place, never freed).
+	idPool   []string // positional backlog IDs ("q-0", "q-1", ...)
+	appsBuf  []placement.App
+	prevsBuf []int
+	asgBuf   placement.Assignment
+	warmBuf  placement.Assignment
+	// cityMonthKey[site][month] pre-renders the MonthlyPlacements keys.
+	cityMonthKey [][12]string
 
 	// Traffic-driven mode (cfg.Traffic != nil).
-	tgen     *traffic.Generator
-	trouter  *router.Router
-	sloMs    float64                   // end-to-end routing SLO
-	profiles map[string]energy.Profile // (model/device) cache for replica views
+	tgen    *traffic.Generator
+	trouter *router.Router
+	sloMs   float64 // end-to-end routing SLO
+	// profiles caches energy profiles per (model, device); struct keys
+	// avoid re-rendering "model/device" strings in the hot path.
+	profiles map[profKey]energy.Profile
+	sliceBuf []int64
+	replBuf  []router.Replica
+	replIdx  map[replKey]int
+	// intensityFn is the pre-bound zone-intensity oracle handed to the
+	// router (reads the slot memo prefilled by stepTraffic).
+	intensityFn func(string) float64
 
 	observers []Observer
+}
+
+// profKey keys the energy-profile cache by (model, device).
+type profKey struct{ model, device string }
+
+// replKey aggregates the traffic replica pool: all live apps sharing a
+// (site, model, device) triple present one replica with summed capacity.
+type replKey struct {
+	site          int
+	model, device string
 }
 
 // NewEngine validates the config and builds the simulation state against
@@ -156,6 +208,31 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 		e.siteIdxByCity[s.City] = i
 	}
 
+	// Zone slot table: the per-epoch forecast/intensity memos are keyed by
+	// these dense slots instead of zone-ID strings.
+	e.zoneSlot = map[string]int{}
+	e.zoneSlotOfSite = make([]int, len(sites))
+	for i, s := range sites {
+		slot, ok := e.zoneSlot[s.ZoneID]
+		if !ok {
+			slot = len(e.zoneSlot)
+			e.zoneSlot[s.ZoneID] = slot
+		}
+		e.zoneSlotOfSite[i] = slot
+	}
+	nz := len(e.zoneSlot)
+	e.fcVal = make([]float64, nz)
+	e.fcGenS = make([]int, nz)
+	e.ciVal = make([]float64, nz)
+	e.ciGenS = make([]int, nz)
+
+	e.cityMonthKey = make([][12]string, len(sites))
+	for i, s := range sites {
+		for m := 0; m < 12; m++ {
+			e.cityMonthKey[i][m] = fmt.Sprintf("%s/%d", s.City, m)
+		}
+	}
+
 	// Demand and capacity weights.
 	e.demandW = weights(sites, cfg.Demand)
 	capW := weights(sites, cfg.Capacity)
@@ -175,7 +252,7 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 			capMilli := cfg.CapacityMilliPerSite * scale
 			capVec := cluster.NewResources(capMilli,
 				float64(dev.MemMB)*scale*4, float64(dev.MemMB)*scale, 1e9)
-			e.servers = append(e.servers, &siteServer{
+			e.servers = append(e.servers, siteServer{
 				site:    i,
 				device:  dev,
 				baseCap: capVec,
@@ -207,7 +284,8 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 	// free-capacity views are synced per batch; the expensive parts
 	// (profile cells, RTT rows, candidate shortlists) live for the run.
 	pservers := make([]placement.Server, len(e.servers))
-	for j, srv := range e.servers {
+	for j := range e.servers {
+		srv := &e.servers[j]
 		pservers[j] = placement.Server{
 			ID:         fmt.Sprintf("srv-%d", j),
 			DC:         sites[srv.site].City,
@@ -222,7 +300,15 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 		return nil, err
 	}
 	e.ws = ws
-	e.fcCache = map[string]float64{}
+
+	e.phFaults = e.phaseFaults
+	e.phCarbon = e.phaseCarbonTick
+	e.phDepart = e.phaseDepartures
+	e.phRedeploy = e.phaseRedeploy
+	e.phArrive = e.phaseArrivals
+	e.phPlace = e.phasePlacement
+	e.phTraffic = e.phaseTraffic
+	e.phAccrue = e.phaseAccrual
 
 	if cfg.Traffic != nil {
 		if err := e.initTraffic(); err != nil {
@@ -284,15 +370,22 @@ func (e *Engine) initTraffic() error {
 	r, err := router.New(router.Config{
 		SLOms: e.sloMs,
 		RTT:   e.rttOracle,
+		RTTAt: e.rttAt,
 	})
 	if err != nil {
 		return err
 	}
 	e.tgen, e.trouter = gen, r
-	e.profiles = map[string]energy.Profile{}
+	e.profiles = map[profKey]energy.Profile{}
+	e.replIdx = map[replKey]int{}
+	e.intensityFn = e.zoneCIOracle
 	e.res.Traffic = r.Stats()
 	return nil
 }
+
+// rttAt is the index form of rttOracle: pairwise RTT between two site
+// indices (traffic sources and replica locations are both site-indexed).
+func (e *Engine) rttAt(src, dst int) float64 { return e.rtt[src][dst] }
 
 // AddObserver registers a per-epoch metrics tap.
 func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
@@ -377,19 +470,19 @@ func (e *Engine) closeFaultAccounting() {
 func (e *Engine) scheduleEpoch(epoch int) {
 	at := e.start.Add(time.Duration(epoch) * time.Hour)
 	if e.faultq != nil {
-		e.tl.Schedule(at, "faults", e.phaseFaults)
+		e.tl.Schedule(at, "faults", e.phFaults)
 	}
-	e.tl.Schedule(at, "carbon-tick", e.phaseCarbonTick)
-	e.tl.Schedule(at, "departures", e.phaseDepartures)
+	e.tl.Schedule(at, "carbon-tick", e.phCarbon)
+	e.tl.Schedule(at, "departures", e.phDepart)
 	if e.cfg.RedeployEveryHours > 0 || e.faultq != nil {
-		e.tl.Schedule(at, "redeploy", e.phaseRedeploy)
+		e.tl.Schedule(at, "redeploy", e.phRedeploy)
 	}
-	e.tl.Schedule(at, "arrivals", e.phaseArrivals)
-	e.tl.Schedule(at, "placement", e.phasePlacement)
+	e.tl.Schedule(at, "arrivals", e.phArrive)
+	e.tl.Schedule(at, "placement", e.phPlace)
 	if e.tgen != nil {
-		e.tl.Schedule(at, "traffic", e.phaseTraffic)
+		e.tl.Schedule(at, "traffic", e.phTraffic)
 	}
-	e.tl.Schedule(at, "accrual", e.phaseAccrual)
+	e.tl.Schedule(at, "accrual", e.phAccrue)
 }
 
 // fixedStep is the pre-timeline hard-coded epoch sequence, kept as the
@@ -427,9 +520,10 @@ func (e *Engine) phaseFaults(now time.Time) error {
 }
 
 // phaseCarbonTick starts the epoch's carbon clock: the per-zone forecast
-// memo is reset so this epoch's solves see fresh forecasts.
+// memo is invalidated (generation bump) so this epoch's solves see fresh
+// forecasts.
 func (e *Engine) phaseCarbonTick(now time.Time) error {
-	e.fcCache = map[string]float64{}
+	e.fcGen++
 	e.fcAt = now
 	return nil
 }
@@ -486,12 +580,13 @@ func (e *Engine) phaseAccrual(now time.Time) error {
 // stepDepartures releases apps whose lifetime ended before this epoch.
 func (e *Engine) stepDepartures(epoch int) {
 	keep := e.live[:0]
-	for _, a := range e.live {
+	for i := range e.live {
+		a := e.live[i]
 		if a.expires > epoch {
 			keep = append(keep, a)
 			continue
 		}
-		srv := e.servers[a.srv]
+		srv := &e.servers[a.srv]
 		srv.used = srv.used.Sub(a.demand(e.cfg))
 		if srv.used.Dominant(srv.cap) <= 0 && !e.cfg.ServersAlwaysOn {
 			srv.on = false
@@ -511,6 +606,17 @@ type pendingApp struct {
 	evictedAt int // epoch of eviction; -1 for fresh arrivals
 }
 
+// queueID returns the interned ID for backlog position pos, growing the
+// pool on demand. Batch IDs only need to be unique within one solve
+// (placement validation), so every backlog entry is named by its queue
+// position and the rendered strings are reused for the whole run.
+func (e *Engine) queueID(pos int) string {
+	for len(e.idPool) <= pos {
+		e.idPool = append(e.idPool, fmt.Sprintf("q-%d", len(e.idPool)))
+	}
+	return e.idPool[pos]
+}
+
 // stepArrivals draws this epoch's Poisson arrivals into the backlog
 // (source site sampled by demand weight).
 func (e *Engine) stepArrivals() {
@@ -523,7 +629,7 @@ func (e *Engine) stepArrivals() {
 		}
 		e.pending = append(e.pending, pendingApp{
 			app: placement.App{
-				ID:         fmt.Sprintf("app-%d", e.appSeq),
+				ID:         e.queueID(len(e.pending)),
 				Model:      model,
 				Source:     e.sites[src].City,
 				SLOms:      e.cfg.RTTLimitMs,
@@ -549,7 +655,10 @@ func (e *Engine) drainBatch(epoch int) []pendingApp {
 		return nil
 	}
 	batch := e.pending
-	e.pending = nil
+	// Double-buffer the backlog: the spare array (last drain's batch,
+	// fully consumed within its epoch) becomes the next accumulator.
+	e.pending = e.pendingSpare[:0]
+	e.pendingSpare = batch
 	if fs := e.res.Faults; fs != nil {
 		keep := batch[:0]
 		for _, p := range batch {
@@ -565,17 +674,21 @@ func (e *Engine) drainBatch(epoch int) []pendingApp {
 	return batch
 }
 
-// meanForecast memoizes the per-zone mean forecast within one epoch: the
-// forecaster is deterministic, and an epoch can need the same zone several
-// times (multi-device sites, redeploy plus placement in one epoch).
-func (e *Engine) meanForecast(zone string, now time.Time) (float64, error) {
+// meanForecastSite memoizes the per-zone mean forecast within one epoch:
+// the forecaster is deterministic, and an epoch can need the same zone
+// several times (multi-device sites, redeploy plus placement in one
+// epoch). The memo is slot-keyed and invalidated by generation bump, so
+// steady-state epochs never allocate for it.
+func (e *Engine) meanForecastSite(site int, now time.Time) (float64, error) {
 	if !now.Equal(e.fcAt) {
-		e.fcCache = map[string]float64{}
+		e.fcGen++
 		e.fcAt = now
 	}
-	if v, ok := e.fcCache[zone]; ok {
-		return v, nil
+	slot := e.zoneSlotOfSite[site]
+	if e.fcGenS[slot] == e.fcGen {
+		return e.fcVal[slot], nil
 	}
+	zone := e.sites[site].ZoneID
 	v, err := e.svc.MeanForecast(zone, now, e.horizon)
 	if err != nil {
 		return 0, err
@@ -585,8 +698,38 @@ func (e *Engine) meanForecast(zone string, now time.Time) (float64, error) {
 	if f, ok := e.fcErr[zone]; ok {
 		v *= f
 	}
-	e.fcCache[zone] = v
+	e.fcVal[slot] = v
+	e.fcGenS[slot] = e.fcGen
 	return v, nil
+}
+
+// zoneCISite memoizes the current (actual, hourly) carbon intensity of a
+// site's zone within one epoch instant, same slot/generation scheme as
+// the forecast memo. The trace lookup is deterministic, so memoization is
+// byte-identical to repeated svc.Current calls.
+func (e *Engine) zoneCISite(site int, now time.Time) (float64, error) {
+	if !now.Equal(e.ciAt) {
+		e.ciGen++
+		e.ciAt = now
+	}
+	slot := e.zoneSlotOfSite[site]
+	if e.ciGenS[slot] == e.ciGen {
+		return e.ciVal[slot], nil
+	}
+	v, err := e.svc.Current(e.sites[site].ZoneID, now)
+	if err != nil {
+		return 0, err
+	}
+	e.ciVal[slot] = v
+	e.ciGenS[slot] = e.ciGen
+	return v, nil
+}
+
+// zoneCIOracle resolves a zone's current intensity from the slot memo.
+// Only the traffic router calls it, and stepTraffic prefills every zone
+// hosting a live replica before routing, so the memo always hits.
+func (e *Engine) zoneCIOracle(zone string) float64 {
+	return e.ciVal[e.zoneSlot[zone]]
 }
 
 // buildProblem assembles the batch's placement problem against the
@@ -601,8 +744,9 @@ func (e *Engine) buildProblem(apps []placement.App, now time.Time) (*placement.P
 		}
 		return placement.Build(apps, pservers, e.rttOracle, nil)
 	}
-	for j, srv := range e.servers {
-		mean, err := e.meanForecast(e.sites[srv.site].ZoneID, now)
+	for j := range e.servers {
+		srv := &e.servers[j]
+		mean, err := e.meanForecastSite(srv.site, now)
 		if err != nil {
 			return nil, err
 		}
@@ -626,28 +770,23 @@ func (e *Engine) solveBatch(apps []placement.App, now time.Time, warm *placement
 		return nil, nil, err
 	}
 	t0 := time.Now()
-	var asg *placement.Assignment
-	if warm != nil {
-		asg, err = e.solver.SolveWarm(prob, e.cfg.Policy, warm)
-	} else {
-		asg, err = e.solver.Solve(prob, e.cfg.Policy)
-	}
-	if err != nil {
+	if err := e.solver.SolveInto(&e.asgBuf, prob, e.cfg.Policy, warm); err != nil {
 		return nil, nil, err
 	}
 	e.res.SolveTime += time.Since(t0)
 	e.res.Batches++
-	return prob, asg, nil
+	return prob, &e.asgBuf, nil
 }
 
 // stepPlacement solves Algorithm 1 on one batch and commits the
 // placements. Fresh arrivals with no feasible server are dropped
 // (Unplaced); evicted apps go back to the backlog and retry next batch.
 func (e *Engine) stepPlacement(batch []pendingApp, now time.Time, epoch, month int) error {
-	apps := make([]placement.App, len(batch))
-	for i, p := range batch {
-		apps[i] = p.app
+	e.appsBuf = e.appsBuf[:0]
+	for i := range batch {
+		e.appsBuf = append(e.appsBuf, batch[i].app)
 	}
+	apps := e.appsBuf
 	prob, asg, err := e.solveBatch(apps, now, nil)
 	if err != nil {
 		return err
@@ -657,42 +796,44 @@ func (e *Engine) stepPlacement(batch []pendingApp, now time.Time, epoch, month i
 		if j < 0 {
 			if batch[i].evictedAt >= 0 {
 				// No feasible server this batch (outage still in force);
-				// keep retrying until the app's lifetime runs out.
-				e.pending = append(e.pending, batch[i])
+				// keep retrying until the app's lifetime runs out. Its ID
+				// is re-derived from the new backlog position.
+				p := batch[i]
+				p.app.ID = e.queueID(len(e.pending))
+				e.pending = append(e.pending, p)
 			} else {
 				e.res.Unplaced++
 			}
 			continue
 		}
 		e.res.Placed++
-		srv := e.servers[j]
+		srv := &e.servers[j]
 		srv.used = srv.used.Add(prob.Demand[i][j])
 		srv.on = true
 		expires := epoch + e.cfg.AppLifetimeHours
 		if batch[i].expires >= 0 {
 			expires = batch[i].expires
 		}
-		a := &liveApp{
+		rtt := prob.LatencyMs[i][j]
+		e.live = append(e.live, liveApp{
 			srv:     j,
 			site:    srv.site,
 			model:   apps[i].Model,
 			device:  srv.device.Name,
 			powerW:  prob.PowerW[i][j],
-			rttMs:   prob.LatencyMs[i][j],
+			rttMs:   rtt,
 			expires: expires,
 			srcSite: batch[i].src,
-		}
-		e.live = append(e.live, a)
+		})
 		if batch[i].evictedAt >= 0 {
 			fs := e.res.Faults
 			fs.Replaced++
 			fs.DowntimeEpochs += epoch - batch[i].evictedAt
 		}
-		e.res.Latency.Add(a.rttMs)
-		e.res.MonthlyLatency[month].Add(a.rttMs)
-		city := e.sites[srv.site].City
-		e.res.PlacementsByCity.Inc(city, 1)
-		e.res.MonthlyPlacements.Inc(fmt.Sprintf("%s/%d", city, month), 1)
+		e.res.Latency.Add(rtt)
+		e.res.MonthlyLatency[month].Add(rtt)
+		e.res.PlacementsByCity.Inc(e.sites[srv.site].City, 1)
+		e.res.MonthlyPlacements.Inc(e.cityMonthKey[srv.site][month], 1)
 	}
 	return nil
 }
@@ -706,20 +847,14 @@ func (e *Engine) stepTraffic(now time.Time, epoch, month int) error {
 	if e.tgen == nil {
 		return nil
 	}
-	// Per-zone intensity cache for this epoch's attributions. Load-CI
-	// sampling (Figure 11c) keeps its classic per-app-hour semantics in
-	// traffic mode: one sample per live replica per epoch.
-	ci := make(map[string]float64, 8)
-	for _, a := range e.live {
-		zone := e.sites[a.site].ZoneID
-		v, ok := ci[zone]
-		if !ok {
-			var err error
-			v, err = e.svc.Current(zone, now)
-			if err != nil {
-				return err
-			}
-			ci[zone] = v
+	// Prefill the epoch's zone-intensity memo over the live pool (the
+	// router's intensity oracle reads it). Load-CI sampling (Figure 11c)
+	// keeps its classic per-app-hour semantics in traffic mode: one
+	// sample per live replica per epoch.
+	for i := range e.live {
+		v, err := e.zoneCISite(e.live[i].site, now)
+		if err != nil {
+			return err
 		}
 		if e.cfg.CollectLoadCI {
 			e.res.LoadCI = append(e.res.LoadCI, v)
@@ -732,12 +867,14 @@ func (e *Engine) stepTraffic(now time.Time, epoch, month int) error {
 	st := e.res.Traffic
 	kwh0, grams0 := st.EnergyKWh, st.CarbonG
 	viol0, drop0 := st.Requests-st.SLOMet, st.Dropped
-	sl := e.trouter.NewSlice(replicas, 3600)
-	srcs := e.tgen.Sources()
-	intensity := func(zone string) float64 { return ci[zone] }
-	for i, n := range e.tgen.Slice(epoch) {
+	sl := e.trouter.ReuseSlice(replicas, 3600)
+	// Traffic sources are built 1:1 over the region's sites, so the slice
+	// index is the source's site index and routing goes through the
+	// index-keyed RTT table.
+	e.sliceBuf = e.tgen.AppendSlice(e.sliceBuf[:0], epoch)
+	for i, n := range e.sliceBuf {
 		if n > 0 {
-			sl.Route(srcs[i].City, n, intensity)
+			sl.RouteAt(i, n, e.intensityFn)
 		}
 	}
 	sl.Close()
@@ -753,33 +890,47 @@ func (e *Engine) stepTraffic(now time.Time, epoch, month int) error {
 	return nil
 }
 
-// trafficReplicas views the live applications as the routing replica pool:
-// each app serves at its provisioned rate, and telemetry is keyed by
-// hosting city so per-replica aggregates stay bounded over year runs.
+// trafficReplicas views the live applications as the routing replica
+// pool. Apps sharing a (site, model, device) triple are interchangeable
+// to the router — same location, latency, service time, and per-request
+// energy — so they aggregate into one replica with their capacities
+// summed (first-occurrence order, which snapshots preserve). Telemetry
+// stays keyed by hosting city, as before, so per-replica aggregates stay
+// bounded over year runs. The replica slice and aggregation index are
+// engine-owned scratch, rewritten every epoch.
 func (e *Engine) trafficReplicas() ([]router.Replica, error) {
-	replicas := make([]router.Replica, len(e.live))
-	for i, a := range e.live {
-		key := a.model + "/" + a.device
-		prof, ok := e.profiles[key]
+	e.replBuf = e.replBuf[:0]
+	clear(e.replIdx)
+	for i := range e.live {
+		a := &e.live[i]
+		k := replKey{site: a.site, model: a.model, device: a.device}
+		idx, ok := e.replIdx[k]
 		if !ok {
-			var err error
-			prof, err = energy.ProfileFor(a.model, a.device)
-			if err != nil {
-				return nil, err
+			pk := profKey{model: a.model, device: a.device}
+			prof, ok := e.profiles[pk]
+			if !ok {
+				var err error
+				prof, err = energy.ProfileFor(a.model, a.device)
+				if err != nil {
+					return nil, err
+				}
+				e.profiles[pk] = prof
 			}
-			e.profiles[key] = prof
+			city := e.sites[a.site].City
+			idx = len(e.replBuf)
+			e.replBuf = append(e.replBuf, router.Replica{
+				ID:            city,
+				City:          city,
+				Loc:           a.site,
+				ZoneID:        e.sites[a.site].ZoneID,
+				ServiceMs:     prof.InferenceMs,
+				EnergyPerReqJ: prof.EnergyPerRequestJ(),
+			})
+			e.replIdx[k] = idx
 		}
-		city := e.sites[a.site].City
-		replicas[i] = router.Replica{
-			ID:            city,
-			City:          city,
-			ZoneID:        e.sites[a.site].ZoneID,
-			CapacityRPS:   e.cfg.RatePerSec,
-			ServiceMs:     prof.InferenceMs,
-			EnergyPerReqJ: prof.EnergyPerRequestJ(),
-		}
+		e.replBuf[idx].CapacityRPS += e.cfg.RatePerSec
 	}
-	return replicas, nil
+	return e.replBuf, nil
 }
 
 // stepAccrual charges every live app's dynamic energy — plus woken
@@ -789,8 +940,9 @@ func (e *Engine) trafficReplicas() ([]router.Replica, error) {
 // base-power term applies here.
 func (e *Engine) stepAccrual(now time.Time, month int) error {
 	if e.tgen == nil {
-		for _, a := range e.live {
-			ci, err := e.svc.Current(e.sites[a.site].ZoneID, now)
+		for i := range e.live {
+			a := &e.live[i]
+			ci, err := e.zoneCISite(a.site, now)
 			if err != nil {
 				return err
 			}
@@ -804,9 +956,10 @@ func (e *Engine) stepAccrual(now time.Time, month int) error {
 		}
 	}
 	if !e.cfg.ServersAlwaysOn {
-		for _, srv := range e.servers {
+		for j := range e.servers {
+			srv := &e.servers[j]
 			if srv.on {
-				ci, err := e.svc.Current(e.sites[srv.site].ZoneID, now)
+				ci, err := e.zoneCISite(srv.site, now)
 				if err != nil {
 					return err
 				}
@@ -825,8 +978,9 @@ func (e *Engine) stepAccrual(now time.Time, month int) error {
 // legacy rebuild path, kept for the workspace equivalence tests.
 func (e *Engine) serverViews(now time.Time) ([]placement.Server, error) {
 	pservers := make([]placement.Server, len(e.servers))
-	for j, srv := range e.servers {
-		mean, err := e.meanForecast(e.sites[srv.site].ZoneID, now)
+	for j := range e.servers {
+		srv := &e.servers[j]
+		mean, err := e.meanForecastSite(srv.site, now)
 		if err != nil {
 			return nil, err
 		}
@@ -857,26 +1011,30 @@ func (e *Engine) rttOracle(source, dc string) float64 {
 // destination zone's current carbon intensity.
 func (e *Engine) redeploy(now time.Time) error {
 	// Free every live app's resources so the solver sees the full space.
-	prevs := make([]int, len(e.live))
-	for i, a := range e.live {
-		prevs[i] = a.srv
-		srv := e.servers[a.srv]
+	e.prevsBuf = e.prevsBuf[:0]
+	for i := range e.live {
+		a := &e.live[i]
+		e.prevsBuf = append(e.prevsBuf, a.srv)
+		srv := &e.servers[a.srv]
 		srv.used = srv.used.Sub(a.demand(e.cfg))
 		if srv.used.Dominant(srv.cap) <= 0 && !e.cfg.ServersAlwaysOn {
 			srv.on = false
 		}
 	}
+	prevs := e.prevsBuf
 
-	apps := make([]placement.App, len(e.live))
-	for i, a := range e.live {
-		apps[i] = placement.App{
-			ID:         fmt.Sprintf("redeploy-%d", i),
+	e.appsBuf = e.appsBuf[:0]
+	for i := range e.live {
+		a := &e.live[i]
+		e.appsBuf = append(e.appsBuf, placement.App{
+			ID:         e.queueID(i),
 			Model:      a.model,
 			Source:     e.sites[a.srcSite].City,
 			SLOms:      e.cfg.RTTLimitMs,
 			RatePerSec: e.cfg.RatePerSec,
-		}
+		})
 	}
+	apps := e.appsBuf
 	// Optional warm start (§7 extension knob): seed the solver with the
 	// identity placement — each live app on its current server — so local
 	// search only pays for what actually moved. Off by default: the
@@ -884,28 +1042,29 @@ func (e *Engine) redeploy(now time.Time) error {
 	// paper's redeploy figures are produced cold.
 	var warm *placement.Assignment
 	if e.cfg.WarmRedeploy {
-		warm = &placement.Assignment{ServerOf: append([]int(nil), prevs...)}
+		e.warmBuf.ServerOf = append(e.warmBuf.ServerOf[:0], prevs...)
+		e.warmBuf.PowerOn = e.warmBuf.PowerOn[:0]
+		e.warmBuf.Unplaced = nil
+		warm = &e.warmBuf
 	}
 	prob, asg, err := e.solveBatch(apps, now, warm)
 	if err != nil {
 		return err
 	}
 
-	restore := func(i int) {
-		a := e.live[i]
-		a.srv = prevs[i]
-		srv := e.servers[a.srv]
-		a.site, a.device = srv.site, srv.device.Name
-		srv.used = srv.used.Add(a.demand(e.cfg))
-		srv.on = true
-	}
 	for i, j := range asg.ServerOf {
 		if j < 0 {
-			restore(i)
+			// Infeasible this pass: the app stays where it was.
+			a := &e.live[i]
+			a.srv = prevs[i]
+			srv := &e.servers[a.srv]
+			a.site, a.device = srv.site, srv.device.Name
+			srv.used = srv.used.Add(a.demand(e.cfg))
+			srv.on = true
 			continue
 		}
-		srv := e.servers[j]
-		a := e.live[i]
+		srv := &e.servers[j]
+		a := &e.live[i]
 		moved := j != prevs[i]
 		a.srv = j
 		a.site, a.device = srv.site, srv.device.Name

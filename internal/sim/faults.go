@@ -95,7 +95,8 @@ func (e *Engine) checkFaultTarget(f events.Fault) error {
 // ascending (deterministic) order.
 func (e *Engine) matchServers(f events.Fault) []int {
 	var idx []int
-	for j, srv := range e.servers {
+	for j := range e.servers {
+		srv := &e.servers[j]
 		site := e.sites[srv.site]
 		if f.Site != "" && site.City != f.Site {
 			continue
@@ -123,7 +124,7 @@ func (e *Engine) applyFault(f events.Fault, now time.Time) error {
 	switch f.Kind {
 	case events.FaultCrash:
 		for _, j := range e.matchServers(f) {
-			srv := e.servers[j]
+			srv := &e.servers[j]
 			if srv.down {
 				continue
 			}
@@ -135,7 +136,7 @@ func (e *Engine) applyFault(f events.Fault, now time.Time) error {
 		}
 	case events.FaultRecover:
 		for _, j := range e.matchServers(f) {
-			srv := e.servers[j]
+			srv := &e.servers[j]
 			if !srv.down {
 				continue
 			}
@@ -146,7 +147,7 @@ func (e *Engine) applyFault(f events.Fault, now time.Time) error {
 		}
 	case events.FaultDegrade:
 		for _, j := range e.matchServers(f) {
-			srv := e.servers[j]
+			srv := &e.servers[j]
 			srv.cap = srv.baseCap.Scale(f.Factor)
 			e.evictOverflow(j, epoch)
 		}
@@ -167,14 +168,15 @@ func (e *Engine) applyFault(f events.Fault, now time.Time) error {
 // evictServer forces every live application off server j.
 func (e *Engine) evictServer(j, epoch int) {
 	keep := e.live[:0]
-	srv := e.servers[j]
-	for _, a := range e.live {
+	srv := &e.servers[j]
+	for i := range e.live {
+		a := e.live[i]
 		if a.srv != j {
 			keep = append(keep, a)
 			continue
 		}
 		srv.used = srv.used.Sub(a.demand(e.cfg))
-		e.queueEvicted(a, epoch)
+		e.queueEvicted(&a, epoch)
 	}
 	e.live = keep
 }
@@ -183,7 +185,7 @@ func (e *Engine) evictServer(j, epoch int) {
 // usage fits the (possibly degraded) capacity. Newest-first is the
 // deterministic tie-break: the longest-running apps keep their placement.
 func (e *Engine) evictOverflow(j, epoch int) {
-	srv := e.servers[j]
+	srv := &e.servers[j]
 	if srv.used.Fits(srv.cap) {
 		return
 	}
@@ -193,7 +195,7 @@ func (e *Engine) evictOverflow(j, epoch int) {
 			continue
 		}
 		srv.used = srv.used.Sub(a.demand(e.cfg))
-		e.queueEvicted(a, epoch)
+		e.queueEvicted(&a, epoch)
 		e.live = append(e.live[:i], e.live[i+1:]...)
 	}
 	if srv.used.Dominant(srv.cap) <= 0 && !e.cfg.ServersAlwaysOn {
@@ -209,7 +211,7 @@ func (e *Engine) queueEvicted(a *liveApp, epoch int) {
 	e.forceRedeploy = true
 	e.pending = append(e.pending, pendingApp{
 		app: placement.App{
-			ID:         fmt.Sprintf("evict-%d", e.evictSeq),
+			ID:         e.queueID(len(e.pending)),
 			Model:      a.model,
 			Source:     e.sites[a.srcSite].City,
 			SLOms:      e.cfg.RTTLimitMs,
@@ -248,7 +250,7 @@ func (e *Engine) scaleOut(f events.Fault) error {
 		float64(dev.MemMB)*ratio*4, float64(dev.MemMB)*ratio, 1e9)
 	for k := 0; k < count; k++ {
 		j := len(e.servers)
-		e.servers = append(e.servers, &siteServer{
+		e.servers = append(e.servers, siteServer{
 			site:    site,
 			device:  dev,
 			baseCap: capVec,

@@ -290,7 +290,7 @@ func NewEngineFrom(cfg Config, w *World, snap *Snapshot) (*Engine, error) {
 			return nil, fmt.Errorf("sim: snapshot server %d references site %d of %d", j, ss.Site, len(e.sites))
 		}
 		if j < len(e.servers) {
-			srv := e.servers[j]
+			srv := &e.servers[j]
 			if srv.site != ss.Site || srv.device.Name != ss.Device {
 				return nil, fmt.Errorf("sim: snapshot server %d is %s@site%d, config builds %s@site%d",
 					j, ss.Device, ss.Site, srv.device.Name, srv.site)
@@ -303,7 +303,7 @@ func NewEngineFrom(cfg Config, w *World, snap *Snapshot) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: snapshot server %d: %w", j, err)
 		}
-		e.servers = append(e.servers, &siteServer{
+		e.servers = append(e.servers, siteServer{
 			site:    ss.Site,
 			device:  dev,
 			baseCap: ss.BaseCap,
@@ -324,12 +324,12 @@ func NewEngineFrom(cfg Config, w *World, snap *Snapshot) (*Engine, error) {
 		}
 	}
 
-	e.live = make([]*liveApp, len(snap.Live))
+	e.live = make([]liveApp, len(snap.Live))
 	for i, ls := range snap.Live {
 		if ls.Srv < 0 || ls.Srv >= len(e.servers) {
 			return nil, fmt.Errorf("sim: snapshot live app %d references server %d of %d", i, ls.Srv, len(e.servers))
 		}
-		e.live[i] = &liveApp{
+		e.live[i] = liveApp{
 			srv: ls.Srv, site: ls.Site, model: ls.Model, device: ls.Device,
 			powerW: ls.PowerW, rttMs: ls.RTTMs, expires: ls.Expires, srcSite: ls.SrcSite,
 		}

@@ -118,6 +118,12 @@ type Generator struct {
 	sources  []Source
 	totalW   float64
 	flashIdx int
+
+	// src/rnd back AppendSlice's allocation-free path. Because each hourly
+	// slice is drawn from a stream seeded purely by (Seed, hour), the
+	// source can be reseeded in place instead of reallocated per slice.
+	src *rng.Source
+	rnd *rand.Rand
 }
 
 // NewGenerator builds a generator over the given sources. start anchors
@@ -140,6 +146,8 @@ func NewGenerator(cfg Config, start time.Time, sources []Source) (*Generator, er
 		cfg.FlashMultiplier = 8
 	}
 	g := &Generator{cfg: cfg, start: start, sources: sources, flashIdx: -1}
+	g.src = rng.NewSource(0)
+	g.rnd = rand.New(g.src)
 	for i, s := range sources {
 		if s.Weight < 0 {
 			return nil, fmt.Errorf("traffic: source %s has negative weight", s.City)
@@ -218,13 +226,28 @@ func (g *Generator) Slice(hour int) []int64 {
 	return out
 }
 
+// AppendSlice appends hour h's per-source request counts to dst and
+// returns the extended slice, drawing the identical values Slice(h)
+// would. It reseeds a generator-owned RNG in place instead of
+// allocating one per call, so a caller reusing dst's capacity generates
+// slices with zero steady-state allocations. Unlike Slice, AppendSlice
+// is NOT safe for concurrent use: the reseedable stream is shared
+// generator state.
+func (g *Generator) AppendSlice(dst []int64, hour int) []int64 {
+	g.src.Seed(hourSeed(g.cfg.Seed, hour))
+	for i := range g.sources {
+		dst = append(dst, poissonCount(g.rnd, g.Rate(i, hour)*3600))
+	}
+	return dst
+}
+
 // hourSeed derives the per-slice RNG seed by hashing the base seed and
 // the hour through the mixer together. Deriving it as base^hash(hour)
 // (the previous scheme) kept the XOR-distance between two base seeds'
 // per-hour streams constant — every workload pair shared one fixed
 // offset across all hours, correlating sweeps that differ only in seed.
 func hourSeed(base int64, hour int) int64 {
-	return rng.MixSeed(base, int64(hour))
+	return rng.MixSeed2(base, int64(hour))
 }
 
 // poissonCount draws a Poisson(lambda) count: Knuth's product method for

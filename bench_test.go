@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/carbon"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -492,6 +493,55 @@ func BenchmarkTimelineReplay(b *testing.B) {
 		}
 		b.ReportMetric(overhead, "timeline_overhead_pct")
 		b.ReportMetric(float64(bestTimeline.Microseconds())/1000, "timeline_ms/run")
+	}
+}
+
+// BenchmarkTimelineReplayObs guards the observability subsystem's cost:
+// the BenchmarkTimelineReplay workload is replayed with full tracing on
+// (phase tracer, alloc probes, flight recorder — sim.Config.Obs) and
+// with it off. Tracing must not change the result, and its overhead
+// must stay within 12% of the untraced timeline (the acceptance
+// ceiling, enforced here). Timings are best-of-5 alternating runs.
+func BenchmarkTimelineReplayObs(b *testing.B) {
+	b.ReportAllocs()
+	s := benchSuite(b)
+	cfg := sim.DefaultConfig(carbon.RegionUS, placement.CarbonAware{})
+	cfg.Hours = 24 * 14
+	cfg.RedeployEveryHours = 24
+	traced := cfg
+	traced.Obs = &obs.Config{}
+	run := func(c sim.Config) (*sim.Result, time.Duration) {
+		t0 := time.Now()
+		res, err := sim.Run(c, s.World)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+	// Untimed warm-up, plus the identity check tracing promises.
+	resP, _ := run(cfg)
+	resT, _ := run(traced)
+	resP.SolveTime, resT.SolveTime = 0, 0
+	if !reflect.DeepEqual(resP, resT) {
+		b.Fatal("traced replay diverged from the untraced run")
+	}
+	for i := 0; i < b.N; i++ {
+		bestPlain, bestTraced := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		for r := 0; r < 5; r++ {
+			if _, d := run(cfg); d < bestPlain {
+				bestPlain = d
+			}
+			if _, d := run(traced); d < bestTraced {
+				bestTraced = d
+			}
+		}
+		overhead := (bestTraced.Seconds() - bestPlain.Seconds()) / bestPlain.Seconds() * 100
+		if overhead > 12 {
+			b.Fatalf("tracing overhead %.1f%% vs the untraced timeline, acceptance ceiling is 12%% (plain %v, traced %v)",
+				overhead, bestPlain, bestTraced)
+		}
+		b.ReportMetric(overhead, "obs_overhead_pct")
+		b.ReportMetric(float64(bestTraced.Microseconds())/1000, "traced_ms/run")
 	}
 }
 

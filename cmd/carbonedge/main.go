@@ -24,6 +24,15 @@
 // offsets are relative to service start. Deployments evicted by a crash
 // are re-placed automatically on the next tick.
 //
+// Observability: GET /metrics serves the unified Prometheus-style
+// registry and GET /api/v1/obs the tick-phase breakdown plus recent
+// fault events. -debug-addr serves net/http/pprof on a separate
+// listener (off by default, so profiling endpoints never share the API
+// port):
+//
+//	carbonedge -region florida -debug-addr localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 // The service shuts down cleanly on SIGINT/SIGTERM: in-flight requests
 // drain and the clock goroutine stops.
 package main
@@ -35,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -60,14 +70,15 @@ func main() {
 		rps      = flag.Float64("rps", 40, "aggregate request rate of the attached workload")
 		sloMs    = flag.Float64("slo-ms", 40, "end-to-end response-time SLO for routed requests")
 		faults   = flag.String("faults", "", "fault scenario script to inject at startup (see internal/events)")
+		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *region, *policy, *scenario, *faults, *seed, *timeWarp, *rps, *sloMs); err != nil {
+	if err := run(*addr, *dbgAddr, *region, *policy, *scenario, *faults, *seed, *timeWarp, *rps, *sloMs); err != nil {
 		log.Fatalf("carbonedge: %v", err)
 	}
 }
 
-func run(addr, region, policy, scenario, faultsFile string, seed int64, timeWarp time.Duration, rps, sloMs float64) error {
+func run(addr, dbgAddr, region, policy, scenario, faultsFile string, seed int64, timeWarp time.Duration, rps, sloMs float64) error {
 	var reg testbed.Region
 	switch strings.ToLower(region) {
 	case "florida":
@@ -178,6 +189,25 @@ func run(addr, region, policy, scenario, faultsFile string, seed int64, timeWarp
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
 
+	// Debug listener: pprof on its own mux (never the API mux), only
+	// when explicitly asked for.
+	var dbgSrv *http.Server
+	if dbgAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv = &http.Server{Addr: dbgAddr, Handler: dbg}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("carbonedge: debug listener: %v", err)
+			}
+		}()
+		log.Printf("carbonedge: pprof on http://%s/debug/pprof/", dbgAddr)
+	}
+
 	log.Printf("carbonedge: %s testbed (%d DCs), policy %s, listening on %s",
 		reg.Name, len(reg.DCs), pol.Name(), addr)
 
@@ -193,6 +223,9 @@ func run(addr, region, policy, scenario, faultsFile string, seed int64, timeWarp
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)
+	if dbgSrv != nil {
+		_ = dbgSrv.Shutdown(shutdownCtx)
+	}
 	<-clockDone
 	if errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("shutdown timed out: %w", err)

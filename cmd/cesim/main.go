@@ -18,6 +18,15 @@
 //
 //	cesim -all -checkpoint-dir /tmp/cesim-ckpt            # fresh, journaled
 //	cesim -all -checkpoint-dir /tmp/cesim-ckpt -resume    # continue after a kill
+//
+// Observability: -obs traces every simulation's timeline phases and
+// appends a per-phase breakdown (plus heap/GC telemetry) to each
+// experiment report; -all turns it on by default (pass -obs=false to
+// keep -all output minimal). -cpuprofile and -memprofile write pprof
+// profiles of the whole run:
+//
+//	cesim -exp fig12 -obs                                 # phase breakdown for one experiment
+//	cesim -all -cpuprofile cpu.out -memprofile mem.out    # profile the full suite
 package main
 
 import (
@@ -25,12 +34,19 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a conventional exit code, so profile-writing
+// defers run before the process exits.
+func run() int {
 	var (
 		exp      = flag.String("exp", "", "experiment ID (see -list)")
 		only     = flag.String("only", "", "run every experiment matching a glob (e.g. 'fig1*', 'faults')")
@@ -41,32 +57,72 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for simulation grids")
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for resumable sweep journals and engine checkpoints")
 		resume   = flag.Bool("resume", false, "reuse journals in -checkpoint-dir, skipping completed grid points")
+		obsFlag  = flag.Bool("obs", false, "trace timeline phases and append per-experiment breakdowns (default with -all)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "cesim: -resume needs -checkpoint-dir")
-		os.Exit(2)
+		return 2
 	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	if !*all && *exp == "" && *only == "" {
 		fmt.Fprintln(os.Stderr, "cesim: pass -exp <id>, -only <glob>, -all, or -list")
-		os.Exit(2)
+		return 2
 	}
 
 	suite, err := experiments.NewSuite(*seed, *hours)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	suite.Parallel = *parallel
 	suite.CheckpointDir = *ckptDir
 	suite.Resume = *resume
+	// -all traces by default; an explicit -obs=false wins.
+	obsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "obs" {
+			obsSet = true
+		}
+	})
+	suite.Obs = *obsFlag || (*all && !obsSet)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
+		}
+	}()
 
 	ids := []string{*exp}
 	switch {
@@ -76,7 +132,7 @@ func main() {
 		ids, err = experiments.MatchIDs(*only)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 	total := time.Duration(0)
@@ -84,7 +140,7 @@ func main() {
 		rep, err := experiments.RunReport(suite, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cesim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		total += rep.Elapsed
 		fmt.Printf("%s\n", rep)
@@ -93,4 +149,5 @@ func main() {
 		fmt.Printf("--- %d experiments in %.1fs (parallel=%d) ---\n",
 			len(ids), total.Seconds(), *parallel)
 	}
+	return 0
 }

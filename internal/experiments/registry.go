@@ -3,8 +3,12 @@ package experiments
 import (
 	"fmt"
 	"path"
+	"runtime"
 	"sort"
+	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Runner executes one named experiment and returns its printable result.
@@ -92,11 +96,62 @@ type Report struct {
 	Value fmt.Stringer
 	// Elapsed is the experiment's wall-clock time.
 	Elapsed time.Duration
+	// PeakHeapBytes is the heap footprint obtained from the OS as of the
+	// experiment's end (runtime.MemStats.HeapSys — a process-level
+	// high-water mark, not per-experiment attribution).
+	PeakHeapBytes uint64
+	// GCCycles is how many garbage collections ran during the experiment.
+	GCCycles uint32
+	// AllocBytes is the total heap allocation volume during the
+	// experiment.
+	AllocBytes uint64
+	// Phases is the experiment's per-phase trace aggregate across every
+	// simulation its grids ran (nil unless Suite.Obs).
+	Phases []obs.PhaseStat
 }
 
-// String renders the experiment header (ID + wall clock) and the result.
+// String renders the experiment header (ID, wall clock, memory
+// telemetry) and the result, followed by the per-phase breakdown when
+// the suite traced it. The header stays on the first line: diff-based
+// consumers strip it as the one run-varying line.
 func (r *Report) String() string {
-	return fmt.Sprintf("=== %s (%.1fs) ===\n%s", r.ID, r.Elapsed.Seconds(), r.Value)
+	hdr := fmt.Sprintf("=== %s (%.1fs", r.ID, r.Elapsed.Seconds())
+	if r.PeakHeapBytes > 0 {
+		hdr += fmt.Sprintf(", heap %.0f MB, %d GCs, %.0f MB alloc",
+			float64(r.PeakHeapBytes)/(1<<20), r.GCCycles, float64(r.AllocBytes)/(1<<20))
+	}
+	out := hdr + fmt.Sprintf(") ===\n%s", r.Value)
+	if pt := PhaseTable(r.Phases); pt != "" {
+		if !strings.HasSuffix(out, "\n") {
+			out += "\n"
+		}
+		out += pt
+	}
+	return out
+}
+
+// PhaseTable renders a tracer report as an aligned table, skipping
+// phases that never ran ("" when nothing ran at all).
+func PhaseTable(phases []obs.PhaseStat) string {
+	var rows [][]string
+	for _, p := range phases {
+		if p.Calls == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.Calls),
+			fmt.Sprintf("%.1fms", float64(p.TotalNs)/1e6),
+			fmt.Sprintf("%.1fus", float64(p.MeanNs())/1e3),
+			fmt.Sprintf("%.1fus", float64(p.MaxNs)/1e3),
+			fmt.Sprintf("%.0fB", p.AllocBytesPerCall()),
+		})
+	}
+	if rows == nil {
+		return ""
+	}
+	rows = append([][]string{{"phase", "calls", "total", "mean", "max", "alloc/call"}}, rows...)
+	return table("-- timeline phases --", rows)
 }
 
 // RunReport executes the experiment with the given ID and returns its
@@ -107,10 +162,26 @@ func RunReport(s *Suite, id string) (*Report, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
 	s.beginExperiment(id)
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	v, err := r(s)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
-	return &Report{ID: id, Value: v, Elapsed: time.Since(start)}, nil
+	rep := &Report{ID: id, Value: v, Elapsed: time.Since(start)}
+	// Heap/GC telemetry rides with the opt-in tracing: untraced reports
+	// keep the pre-observability header, whose only varying field is the
+	// wall clock (downstream determinism checks strip exactly that).
+	if s.Obs {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		rep.PeakHeapBytes = m1.HeapSys
+		rep.GCCycles = m1.NumGC - m0.NumGC
+		rep.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+	}
+	if tr := s.gridTrace(); tr != nil {
+		rep.Phases = tr.Report()
+	}
+	return rep, nil
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/carbon"
 	"repro/internal/deploy"
 	"repro/internal/latency"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -42,21 +43,43 @@ type Suite struct {
 	// points are stitched in without re-running. When false, stale
 	// journals are removed so every run starts fresh.
 	Resume bool
+	// Obs enables per-phase observability: every simulation grid an
+	// experiment runs is traced, the per-point tracers merge into one
+	// per-experiment aggregate, and RunReport attaches it (plus process
+	// memory telemetry) to the Report. Tracing never changes results —
+	// sim.Config.Obs is excluded from checkpoint signatures, so journaled
+	// grids resume identically with it on or off.
+	Obs bool
 
 	// Journal naming state: RunReport pins the active experiment ID, and
 	// grids within one experiment number themselves in declaration order
 	// (deterministic, so a resumed process maps journals back to the
-	// same grids).
-	mu      sync.Mutex
-	exp     string
-	gridSeq int
+	// same grids). phaseTrace is the active experiment's tracer aggregate
+	// (nil unless Obs).
+	mu         sync.Mutex
+	exp        string
+	gridSeq    int
+	phaseTrace *obs.Tracer
 }
 
-// beginExperiment resets the journal-naming state for one experiment.
+// beginExperiment resets the journal-naming state (and, with Obs on, the
+// phase-trace aggregate) for one experiment.
 func (s *Suite) beginExperiment(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.exp, s.gridSeq = id, 0
+	s.phaseTrace = nil
+	if s.Obs {
+		s.phaseTrace = sim.NewPhaseTracer()
+	}
+}
+
+// gridTrace returns the active experiment's tracer aggregate (nil unless
+// Obs).
+func (s *Suite) gridTrace() *obs.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.phaseTrace
 }
 
 // checkpointPath resolves a file under CheckpointDir ("" when
@@ -91,7 +114,7 @@ func NewSuite(seed int64, hours int) (*Suite, error) {
 // completed points persist as they finish and a resumed run (Resume)
 // skips them.
 func (s *Suite) newGrid() *sweep.Grid {
-	g := &sweep.Grid{World: s.World, Parallel: s.Parallel}
+	g := &sweep.Grid{World: s.World, Parallel: s.Parallel, Trace: s.gridTrace()}
 	if s.CheckpointDir != "" {
 		s.mu.Lock()
 		n := s.gridSeq

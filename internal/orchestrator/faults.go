@@ -122,7 +122,11 @@ func (o *Orchestrator) consumeFaults() ([]string, error) {
 		}
 		sf := o.faultQueue[best]
 		o.faultQueue = append(o.faultQueue[:best], o.faultQueue[best+1:]...)
-		if err := o.applyFault(sf.Fault, o.now); err != nil {
+		t0 := time.Now()
+		err := o.applyFault(sf.Fault, o.now)
+		o.faultSeq++
+		o.recorder.Record(string(sf.Fault.Kind), sf.At, o.faultSeq, int64(time.Since(t0)))
+		if err != nil {
 			return evicted, err
 		}
 		o.faultsApplied++

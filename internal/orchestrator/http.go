@@ -29,6 +29,8 @@ import (
 //	GET    /api/v1/faults             live fault-injection status
 //	GET    /api/v1/state              checkpoint: download the full orchestrator state
 //	PUT    /api/v1/state              restore a checkpoint into a fresh orchestrator
+//	GET    /api/v1/obs                tick-phase breakdown + recent fault events
+//	GET    /metrics                   Prometheus text exposition (unified registry)
 func (o *Orchestrator) API() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/deployments", o.handleDeployments)
@@ -39,6 +41,8 @@ func (o *Orchestrator) API() http.Handler {
 	mux.HandleFunc("/api/v1/placement", o.handlePlacement)
 	mux.HandleFunc("/api/v1/faults", o.handleFaults)
 	mux.HandleFunc("/api/v1/state", o.handleState)
+	mux.HandleFunc("/api/v1/obs", o.handleObs)
+	mux.Handle("/metrics", o.registry.Handler())
 	return mux
 }
 

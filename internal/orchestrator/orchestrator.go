@@ -12,6 +12,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/latency"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/router"
 	"repro/internal/traffic"
@@ -84,6 +85,15 @@ type Orchestrator struct {
 
 	// DeployLatency measures time from batch start to commit.
 	DeployLatency metrics.Summary
+
+	// Observability (always on, built by initObs): the tick-phase
+	// tracer, the Prometheus-style registry served at /metrics, and a
+	// flight recorder of applied fault events. faultSeq numbers recorded
+	// faults for the recorder's event stream.
+	trace    *obs.Tracer
+	recorder *obs.FlightRecorder
+	registry *obs.Registry
+	faultSeq uint64
 }
 
 // trafficState bundles the attached workload generator and its router.
@@ -115,7 +125,7 @@ func New(cfg Config) (*Orchestrator, error) {
 	if horizon <= 0 {
 		horizon = 24
 	}
-	return &Orchestrator{
+	o := &Orchestrator{
 		cluster:     cfg.Cluster,
 		carbon:      cfg.Carbon,
 		shaper:      cfg.Shaper,
@@ -124,7 +134,9 @@ func New(cfg Config) (*Orchestrator, error) {
 		now:         cfg.Start,
 		deployments: make(map[string]*Deployment),
 		carbonByApp: metrics.NewGrouped(),
-	}, nil
+	}
+	o.initObs()
+	return o, nil
 }
 
 // rttMs is the round-trip latency in milliseconds between two cities as
@@ -171,6 +183,8 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 	if len(o.pending) == 0 {
 		return nil, nil, nil
 	}
+	pp := o.trace.Begin(tickPlacementIdx)
+	defer o.trace.End(tickPlacementIdx, pp)
 	start := time.Now()
 	batch := o.pending
 	o.pending = nil
@@ -397,7 +411,9 @@ func (o *Orchestrator) tick(dt time.Duration, fire *[]func()) error {
 
 	// World dynamics first: the tick's telemetry and routing see the
 	// post-fault cluster.
+	fp := o.trace.Begin(tickFaultsIdx)
 	evicted, err := o.consumeFaults()
+	o.trace.End(tickFaultsIdx, fp)
 	if len(evicted) > 0 {
 		if cb := o.onEviction; cb != nil {
 			now := o.now
@@ -415,7 +431,9 @@ func (o *Orchestrator) tick(dt time.Duration, fire *[]func()) error {
 	if o.traffic != nil {
 		var dropped int64
 		var err error
+		tp := o.trace.Begin(tickTrafficIdx)
 		appW, dropped, err = o.routeTraffic(dt)
+		o.trace.End(tickTrafficIdx, tp)
 		if err != nil {
 			return err
 		}
@@ -435,6 +453,8 @@ func (o *Orchestrator) tick(dt time.Duration, fire *[]func()) error {
 		return appW[dep.Recipe.Name]
 	}
 
+	mp := o.trace.Begin(tickTelemetryIdx)
+	defer o.trace.End(tickTelemetryIdx, mp)
 	for _, dc := range o.cluster.DataCenters() {
 		ci, err := o.carbon.Current(dc.ZoneID, o.now)
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/carbon"
 	"repro/internal/energy"
 	"repro/internal/events"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/traffic"
 )
@@ -138,6 +139,15 @@ type Config struct {
 	// (TestTimelineMatchesFixedLoop, BenchmarkTimelineReplay) and does not
 	// support fault scripts.
 	FixedLoop bool
+	// Obs, when non-nil, enables observability for the run: the engine
+	// traces every timeline phase (per-phase wall time, call counts,
+	// sampled allocation deltas — Engine.Tracer) and keeps a flight
+	// recorder of recent dispatched events (Engine.FlightRecorder),
+	// snapshotted into checkpoints. Tracing never changes the simulated
+	// trajectory — with Obs nil (the default) outputs are byte-identical
+	// and the hot path carries no tracing code at all. Requires the
+	// event timeline (FixedLoop runs its phases directly, untraced).
+	Obs *obs.Config
 }
 
 // DefaultConfig returns the paper's CDN baseline: year-long, 20 ms RTT
@@ -197,6 +207,9 @@ func (c *Config) Validate() error {
 		if err := c.Faults.Validate(); err != nil {
 			return fmt.Errorf("sim: %w", err)
 		}
+	}
+	if c.Obs != nil && c.FixedLoop {
+		return fmt.Errorf("sim: observability traces the event timeline (FixedLoop dispatches its phases directly)")
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/latency"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/router"
@@ -151,6 +152,13 @@ type Engine struct {
 	// intensityFn is the pre-bound zone-intensity oracle handed to the
 	// router (reads the slot memo prefilled by stepTraffic).
 	intensityFn func(string) float64
+
+	// Observability (cfg.Obs != nil): tracer accumulates per-phase
+	// timings through the wrapped phase closures; recorder keeps the
+	// most recent dispatched events. Both nil by default — the dispatch
+	// loop branches on recorder exactly once per Step.
+	tracer   *obs.Tracer
+	recorder *obs.FlightRecorder
 
 	observers []Observer
 }
@@ -309,6 +317,9 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 	e.phPlace = e.phasePlacement
 	e.phTraffic = e.phaseTraffic
 	e.phAccrue = e.phaseAccrual
+	if cfg.Obs != nil {
+		e.initObs()
+	}
 
 	if cfg.Traffic != nil {
 		if err := e.initTraffic(); err != nil {
@@ -414,11 +425,24 @@ func (e *Engine) Step() error {
 		return fmt.Errorf("sim: epoch %d outside trace span: %w", epoch, err)
 	}
 
-	if e.cfg.FixedLoop {
+	switch {
+	case e.cfg.FixedLoop:
 		if err := e.fixedStep(now, epoch); err != nil {
 			return err
 		}
-	} else {
+	case e.recorder != nil:
+		// Recording loop: identical dispatch, plus one timed ring write
+		// per event. Kept as a separate loop so the default path stays
+		// branch-free per event.
+		for ev, ok := e.tl.PopDue(now); ok; ev, ok = e.tl.PopDue(now) {
+			t0 := time.Now()
+			err := ev.Apply(now)
+			e.recorder.Record(ev.Kind, ev.At, ev.Seq, int64(time.Since(t0)))
+			if err != nil {
+				return fmt.Errorf("sim: epoch %d %s event: %w", epoch, ev.Kind, err)
+			}
+		}
+	default:
 		for ev, ok := e.tl.PopDue(now); ok; ev, ok = e.tl.PopDue(now) {
 			if err := ev.Apply(now); err != nil {
 				return fmt.Errorf("sim: epoch %d %s event: %w", epoch, ev.Kind, err)
@@ -510,7 +534,21 @@ func (e *Engine) fixedStep(now time.Time, epoch int) error {
 }
 
 // phaseFaults drains the scripted world-dynamics events due this epoch.
+// With the flight recorder on, each drained fault is recorded under its
+// own kind (crash, zone-outage, ...) — the events a post-mortem is
+// usually after.
 func (e *Engine) phaseFaults(now time.Time) error {
+	if e.recorder != nil {
+		for ev, ok := e.faultq.PopDue(now); ok; ev, ok = e.faultq.PopDue(now) {
+			t0 := time.Now()
+			err := ev.Apply(now)
+			e.recorder.Record(ev.Kind, ev.At, ev.Seq, int64(time.Since(t0)))
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for ev, ok := e.faultq.PopDue(now); ok; ev, ok = e.faultq.PopDue(now) {
 		if err := ev.Apply(now); err != nil {
 			return err

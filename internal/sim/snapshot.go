@@ -9,6 +9,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/events"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/router"
 )
@@ -45,6 +46,12 @@ type Snapshot struct {
 	Pending []PendingSnap `json:"pending,omitempty"`
 
 	Result ResultState `json:"result"`
+
+	// Recorder carries the flight recorder's ring (Config.Obs runs only)
+	// so a post-mortem on a restored checkpoint still sees the events
+	// leading up to it. Pure telemetry: restoring it never changes the
+	// trajectory.
+	Recorder *obs.RecorderState `json:"recorder,omitempty"`
 }
 
 // ServerSnap is one aggregate site server's dynamic state. Site, Device,
@@ -187,7 +194,10 @@ func (st ResultState) Restore() (*Result, error) {
 
 // ConfigSig fingerprints the fields of a Config that determine a run's
 // trajectory. Interface and pointer fields are rendered by value so the
-// signature is stable across processes.
+// signature is stable across processes. Obs is deliberately excluded:
+// tracing never changes the trajectory, so a checkpoint taken with
+// observability on restores cleanly into a run with it off (and vice
+// versa), and sweep journals stay valid across obs toggles.
 func ConfigSig(cfg Config) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed=%d region=%v policy=%T%+v rtt=%g hours=%d start=%d arrivals=%g life=%d",
@@ -253,6 +263,10 @@ func (e *Engine) Snapshot() *Snapshot {
 		for i, p := range e.pending {
 			snap.Pending[i] = PendingSnap{App: p.app, Src: p.src, Expires: p.expires, EvictedAt: p.evictedAt}
 		}
+	}
+	if e.recorder != nil {
+		st := e.recorder.State()
+		snap.Recorder = &st
 	}
 	return snap
 }
@@ -398,6 +412,12 @@ func NewEngineFrom(cfg Config, w *World, snap *Snapshot) (*Engine, error) {
 		if !e.Done() {
 			e.scheduleEpoch(e.epoch)
 		}
+	}
+	// Flight recorder: reload the snapshotted ring when the restoring
+	// config also enables the recorder (cfg.Obs drives e.recorder's
+	// existence; the snapshot only refills it).
+	if e.recorder != nil && snap.Recorder != nil {
+		e.recorder = obs.RecorderFromState(*snap.Recorder)
 	}
 	return e, nil
 }

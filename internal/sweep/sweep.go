@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -122,6 +123,13 @@ type Grid struct {
 	// grid is rejected. Journaled grids require unique point keys.
 	// Observers do not fire for points replayed from the journal.
 	Journal string
+	// Trace, when set, aggregates every executed point's per-phase
+	// timings into one tracer (build it with sim.NewPhaseTracer). Points
+	// that do not already opt into observability are traced with the
+	// flight recorder off; points replayed from a journal contribute
+	// nothing (they did not run). Merging is atomic, so one tracer may be
+	// shared across grids and workers.
+	Trace *obs.Tracer
 }
 
 // Add appends a point to the grid.
@@ -132,6 +140,11 @@ func (g *Grid) Add(key string, cfg sim.Config) {
 // runPoint executes one grid point to completion.
 func (g *Grid) runPoint(i int) (*sim.Result, error) {
 	p := g.Points[i]
+	if g.Trace != nil && p.Config.Obs == nil && !p.Config.FixedLoop {
+		// Trace this point for the grid aggregate: timings only, no
+		// per-point flight recorder.
+		p.Config.Obs = &obs.Config{FlightRecorderEvents: -1}
+	}
 	e, err := sim.NewEngine(p.Config, g.World)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
@@ -146,7 +159,13 @@ func (g *Grid) runPoint(i int) (*sim.Result, error) {
 			return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
 		}
 	}
-	return e.Finish(), nil
+	res := e.Finish()
+	if g.Trace != nil && e.Tracer() != nil {
+		if err := g.Trace.Merge(e.Tracer()); err != nil {
+			return nil, fmt.Errorf("sweep: point %q: %w", p.Key, err)
+		}
+	}
+	return res, nil
 }
 
 // Run executes every point and returns the results in grid order. With

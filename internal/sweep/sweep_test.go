@@ -200,3 +200,41 @@ func TestGridObserverPerPoint(t *testing.T) {
 		}
 	}
 }
+
+func TestGridTraceAggregates(t *testing.T) {
+	// With Trace set, every point runs traced and the per-point tracers
+	// merge into the shared aggregate: phase call counts sum across the
+	// grid. Results must stay identical to an untraced run.
+	w := testWorld(t)
+	cfg := sim.DefaultConfig(carbon.RegionEurope, placement.CarbonAware{})
+	cfg.Hours = 24 * 2
+
+	plain := &Grid{World: w, Parallel: 2}
+	plain.Add("a", cfg)
+	plain.Add("b", cfg)
+	want, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := &Grid{World: w, Parallel: 2, Trace: sim.NewPhaseTracer()}
+	traced.Add("a", cfg)
+	traced.Add("b", cfg)
+	got, err := traced.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].CarbonG != got[i].CarbonG || want[i].Placed != got[i].Placed {
+			t.Errorf("point %d diverged under tracing", i)
+		}
+	}
+	for _, ps := range traced.Trace.Report() {
+		switch ps.Name {
+		case "carbon-tick", "departures", "arrivals", "placement", "accrual":
+			if ps.Calls != int64(2*cfg.Hours) {
+				t.Errorf("phase %s aggregated %d calls, want %d", ps.Name, ps.Calls, 2*cfg.Hours)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"sync"
@@ -18,9 +19,11 @@ import (
 	"time"
 
 	"repro/internal/carbon"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/placement"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -641,5 +644,68 @@ func BenchmarkExtRedeploy(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.ExtraSavingPct, "extra_saving_pct")
+	}
+}
+
+// BenchmarkShardedReplay is the sharded coordinator's headline scaling
+// benchmark: the same two-week US-region traffic workload (flash-crowd
+// demand, daily redeploy solves) replayed serial and partitioned into
+// 2, 4, and 8 shards, reporting epochs/sec per shard count. On this
+// 1-core container the speedup comes from decomposition, not
+// parallelism: placement and redeploy solves cost roughly
+// O(apps x servers), so N shards each solving 1/N of the apps over 1/N
+// of the servers do ~N times less total solver work. The benchmark
+// fails itself if 4 shards deliver less than 2x the serial epochs/sec
+// (the CI gate; the target envelope is 3x). Timings are best-of-3 per
+// count.
+func BenchmarkShardedReplay(b *testing.B) {
+	b.ReportAllocs()
+	s := benchSuite(b)
+	base := sim.DefaultConfig(carbon.RegionUS, placement.CarbonAware{})
+	base.Hours = 24 * 14
+	base.ArrivalsPerHour = 120
+	base.AppLifetimeHours = 72
+	base.RedeployEveryHours = 6
+	base.Devices = []string{energy.A2.Name, energy.GTX1080.Name, energy.OrinNano.Name}
+	base.Traffic = &traffic.Config{Scenario: traffic.FlashCrowd, RPS: experiments.TrafficRPS}
+	counts := []int{1, 2, 4, 8}
+	run := func(count int) time.Duration {
+		c, err := shard.New(shard.Config{
+			Base:     base,
+			Shards:   count,
+			Exchange: count > 1,
+			Workers:  count,
+		}, s.World)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	for _, count := range counts {
+		run(count) // untimed warm-up
+	}
+	for i := 0; i < b.N; i++ {
+		eps := map[int]float64{}
+		for _, count := range counts {
+			best := time.Duration(math.MaxInt64)
+			for r := 0; r < 3; r++ {
+				if d := run(count); d < best {
+					best = d
+				}
+			}
+			eps[count] = float64(base.Hours) / best.Seconds()
+			b.ReportMetric(eps[count], fmt.Sprintf("epochs_per_sec_%dshard", count))
+		}
+		speedup := eps[4] / eps[1]
+		if speedup < 2 {
+			b.Fatalf("4-shard epochs/sec speedup %.2fx over serial, acceptance floor is 2x (serial %.0f eps, 4-shard %.0f eps)",
+				speedup, eps[1], eps[4])
+		}
+		b.ReportMetric(speedup, "speedup_4shard_x")
+		b.ReportMetric(eps[8]/eps[1], "speedup_8shard_x")
 	}
 }

@@ -10,6 +10,11 @@
 //	cesim -list                   # list experiment IDs
 //	cesim -exp fig11 -hours 720   # bound CDN simulations to 30 days
 //	cesim -exp fig12 -parallel 8  # sweep the grid on 8 workers
+//	cesim -exp sharded -shards 4  # step shard engines on 4 workers
+//
+// The sharded family sweeps fixed shard counts (1, 2, 4) per region;
+// -shards only sets how many goroutines step them, and its table is
+// byte-identical at every value (CI diffs -shards 1 against -shards 4).
 //
 // Long runs survive interruption with -checkpoint-dir: every simulation
 // grid journals completed points there (and the longhaul experiment its
@@ -55,6 +60,7 @@ func run() int {
 		seed     = flag.Int64("seed", 42, "dataset seed")
 		hours    = flag.Int("hours", 8760, "CDN simulation span in hours (8760 = paper's year)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for simulation grids")
+		shards   = flag.Int("shards", 1, "worker goroutines stepping shard engines in the sharded experiment family (results are identical at any value)")
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for resumable sweep journals and engine checkpoints")
 		resume   = flag.Bool("resume", false, "reuse journals in -checkpoint-dir, skipping completed grid points")
 		obsFlag  = flag.Bool("obs", false, "trace timeline phases and append per-experiment breakdowns (default with -all)")
@@ -84,6 +90,7 @@ func run() int {
 		return 1
 	}
 	suite.Parallel = *parallel
+	suite.Shards = *shards
 	suite.CheckpointDir = *ckptDir
 	suite.Resume = *resume
 	// -all traces by default; an explicit -obs=false wins.

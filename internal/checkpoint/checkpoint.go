@@ -51,8 +51,11 @@ type Envelope struct {
 	Payload json.RawMessage `json:"payload"`
 }
 
-// seal wraps a payload in an envelope.
-func seal(kind, key string, payload any) (*Envelope, error) {
+// Seal wraps a payload in an envelope: the payload is JSON-encoded,
+// digested, and framed under the given kind (and optional key).
+// Composite checkpoints — the shard coordinator's world snapshot —
+// embed per-member envelopes sealed here inside their own payload.
+func Seal(kind, key string, payload any) (*Envelope, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: encoding %s payload: %w", kind, err)
@@ -91,7 +94,7 @@ func (e *Envelope) Open(kind string) (json.RawMessage, error) {
 
 // Encode writes one enveloped payload to w.
 func Encode(w io.Writer, kind string, payload any) error {
-	env, err := seal(kind, "", payload)
+	env, err := Seal(kind, "", payload)
 	if err != nil {
 		return err
 	}

@@ -276,3 +276,35 @@ func TestJournalTerminatedCorruptFinalLineIsError(t *testing.T) {
 		t.Error("newline-terminated corrupt final entry silently dropped")
 	}
 }
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	// Seal is the composite-checkpoint building block: member envelopes
+	// seal individually and embed in an outer payload.
+	type member struct{ V int }
+	env, err := Seal("engine", "shard-1", member{V: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != "engine" || env.Key != "shard-1" {
+		t.Errorf("sealed kind/key = %q/%q", env.Kind, env.Key)
+	}
+	raw, err := env.Open("engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got member
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.V != 7 {
+		t.Errorf("payload round trip = %+v", got)
+	}
+	// Mis-routed kind and corrupted payload are both rejected.
+	if _, err := env.Open("orchestrator"); err == nil {
+		t.Error("opened under the wrong kind")
+	}
+	env.Payload = json.RawMessage(`{"V":8}`)
+	if _, err := env.Open("engine"); err == nil {
+		t.Error("opened a tampered payload")
+	}
+}

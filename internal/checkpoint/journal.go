@@ -90,7 +90,7 @@ func (j *Journal) Path() string { return j.path }
 // Append seals payload into an envelope and appends it as one line,
 // fsyncing before returning so a completed unit survives a crash.
 func (j *Journal) Append(kind, key string, payload any) error {
-	env, err := seal(kind, key, payload)
+	env, err := Seal(kind, key, payload)
 	if err != nil {
 		return err
 	}

@@ -77,6 +77,33 @@ func (t *Timeline) NextAt() (at time.Time, ok bool) {
 	return t.h[0].At, true
 }
 
+// HasPending reports whether any event is still scheduled. It is the
+// shared-clock form of Len() > 0: a coordinator driving several timelines
+// polls HasPending/PeekNextTime to decide which instance advances next.
+func (t *Timeline) HasPending() bool { return len(t.h) > 0 }
+
+// PeekNextTime returns the due instant of the earliest pending event
+// without removing it; ok is false when the timeline is empty. It is
+// NextAt under the shared-clock coordinator's name: a caller comparing
+// several timelines peeks each and steps the earliest.
+func (t *Timeline) PeekNextTime() (at time.Time, ok bool) { return t.NextAt() }
+
+// ProcessNext pops and applies the earliest event due at or before now.
+// ok reports whether an event was processed; the event is returned either
+// way so callers can attribute an Apply error to its kind. Step loops are
+// thin wrappers over it:
+//
+//	for ev, ok, err := tl.ProcessNext(now); ok; ev, ok, err = tl.ProcessNext(now) {
+//		if err != nil { ... ev.Kind ... }
+//	}
+func (t *Timeline) ProcessNext(now time.Time) (ev Event, ok bool, err error) {
+	ev, ok = t.PopDue(now)
+	if !ok {
+		return Event{}, false, nil
+	}
+	return ev, true, ev.Apply(now)
+}
+
 // PopDue removes and returns the earliest event due at or before now, in
 // (At, Seq) order; ok is false when no pending event is due. The typical
 // dispatch loop is:

@@ -109,6 +109,85 @@ func TestTimelineDeterministicReplay(t *testing.T) {
 	}
 }
 
+func TestTimelineStepPrimitives(t *testing.T) {
+	// HasPending/PeekNextTime/ProcessNext are the shared-clock step
+	// primitives: ProcessNext pops-and-applies in the same stable
+	// (At, Seq) order PopDue dispatches.
+	tl := NewTimeline()
+	var order []string
+	mark := func(kind string) Apply {
+		return func(time.Time) error {
+			order = append(order, kind)
+			return nil
+		}
+	}
+	tl.Schedule(t0.Add(time.Hour), "b1", mark("b1"))
+	tl.Schedule(t0, "a1", mark("a1"))
+	tl.Schedule(t0, "a2", mark("a2"))
+	tl.Schedule(t0.Add(time.Hour), "b2", mark("b2"))
+
+	if !tl.HasPending() {
+		t.Fatal("HasPending false with 4 scheduled events")
+	}
+	if at, ok := tl.PeekNextTime(); !ok || !at.Equal(t0) {
+		t.Fatalf("PeekNextTime = %v/%v, want %v/true", at, ok, t0)
+	}
+
+	// Nothing due before the earliest instant: ok=false, no error, and
+	// the timeline is untouched.
+	if ev, ok, err := tl.ProcessNext(t0.Add(-time.Minute)); ok || err != nil {
+		t.Fatalf("ProcessNext before due time = %v/%v/%v", ev, ok, err)
+	}
+	if tl.Len() != 4 {
+		t.Fatalf("ProcessNext consumed an undue event: %d left", tl.Len())
+	}
+
+	var kinds []string
+	for {
+		ev, ok, err := tl.ProcessNext(t0.Add(2 * time.Hour))
+		if !ok {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{"a1", "a2", "b1", "b2"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("ProcessNext order %v, want %v", kinds, want)
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("Apply order %v, want %v", order, want)
+	}
+
+	// Empty-timeline behavior.
+	if tl.HasPending() {
+		t.Error("HasPending true on a drained timeline")
+	}
+	if _, ok := tl.PeekNextTime(); ok {
+		t.Error("PeekNextTime on empty timeline reported an event")
+	}
+	if ev, ok, err := tl.ProcessNext(t0.Add(100 * time.Hour)); ok || err != nil {
+		t.Errorf("ProcessNext on empty timeline = %v/%v/%v", ev, ok, err)
+	}
+}
+
+func TestTimelineProcessNextError(t *testing.T) {
+	// An Apply error surfaces alongside the popped event (so callers can
+	// attribute it to the kind), and the event is consumed.
+	tl := NewTimeline()
+	boom := fmt.Errorf("boom")
+	tl.Schedule(t0, "explode", func(time.Time) error { return boom })
+	ev, ok, err := tl.ProcessNext(t0)
+	if !ok || ev.Kind != "explode" || err != boom {
+		t.Fatalf("ProcessNext = %v/%v/%v, want explode/true/boom", ev, ok, err)
+	}
+	if tl.HasPending() {
+		t.Error("failed event left on the timeline")
+	}
+}
+
 func TestParseFaultScriptRoundTrip(t *testing.T) {
 	text := `
 # take Miami down for a day, spike the forecast, then scale out

@@ -477,12 +477,62 @@ func TestTrafficDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	// The sharded family's table (everything except the "~ " wall-clock
+	// lines) must be bit-identical whether shard engines step serially
+	// or on a worker pool — the CI smoke diffs exactly this, run under
+	// -race here.
+	s := testSuite(t)
+	defer func(hours, shards int) { s.CDNHours, s.Shards = hours, shards }(s.CDNHours, s.Shards)
+	s.CDNHours = 24 * 7
+	s.Shards = 1
+	serial, err := s.Sharded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Shards = 4
+	parallel, err := s.Sharded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip := func(out string) string {
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, "~ ") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(serial.String()) != strip(parallel.String()) {
+		t.Errorf("serial and parallel sharded runs diverged:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	// Rows cover every (region, shard count) cell, and sharding actually
+	// exchanged work at counts > 1.
+	if want := len(cdnRegions) * len(shardCounts); len(serial.Rows) != want {
+		t.Fatalf("sharded family has %d rows, want %d", len(serial.Rows), want)
+	}
+	var exchanged bool
+	for _, row := range serial.Rows {
+		if row.Shards > 1 && (row.Forwarded > 0 || row.Spill > 0) {
+			exchanged = true
+		}
+		if row.Digest == "" {
+			t.Errorf("row %s x%d has no digest", row.Region, row.Shards)
+		}
+	}
+	if !exchanged {
+		t.Error("no cross-shard exchange in any multi-shard row")
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"table1", "overhead", "ablation-solver", "ablation-forecast",
-		"ablation-batch", "ablation-activation", "traffic", "faults", "longhaul"}
+		"ablation-batch", "ablation-activation", "traffic", "faults", "longhaul",
+		"sharded"}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true

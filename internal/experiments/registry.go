@@ -43,6 +43,7 @@ var registry = map[string]Runner{
 	"traffic":             func(s *Suite) (fmt.Stringer, error) { return s.Traffic() },
 	"faults":              func(s *Suite) (fmt.Stringer, error) { return s.Faults() },
 	"longhaul":            func(s *Suite) (fmt.Stringer, error) { return s.Longhaul() },
+	"sharded":             func(s *Suite) (fmt.Stringer, error) { return s.Sharded() },
 }
 
 // IDs returns all registered experiment IDs, sorted.

@@ -43,6 +43,12 @@ type Suite struct {
 	// points are stitched in without re-running. When false, stale
 	// journals are removed so every run starts fresh.
 	Resume bool
+	// Shards caps the worker-goroutine pool the sharded experiment
+	// family steps its shard engines on (<= 1 = serial lock-step). It
+	// never changes which shard counts the family sweeps or what their
+	// tables contain — sharded results are deterministic across any
+	// worker count — only how the rounds are scheduled.
+	Shards int
 	// Obs enables per-phase observability: every simulation grid an
 	// experiment runs is traced, the per-point tracers merge into one
 	// per-experiment aggregate, and RunReport attaches it (plus process

@@ -1,0 +1,81 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionLonBands splits a point set into n contiguous longitude bands
+// with approximately equal total weight. Points are ordered by
+// (Lon, Lat, index) — a total order, so equal coordinates cannot make
+// the split ambiguous — and the ordered sequence is cut greedily: each
+// band closes once its cumulative weight reaches its proportional share,
+// except that every remaining band is always left at least one point.
+//
+// The shard coordinator partitions a region's sites with it: contiguous
+// bands keep each shard geographically coherent (intra-shard RTTs stay
+// representative) and weight balancing keeps per-shard work even. The
+// result is a pure function of (pts, weights, n): bands of original
+// indices, in west-to-east order, each band's indices in scan order.
+func PartitionLonBands(pts []Point, weights []float64, n int) ([][]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("geo: partition into %d bands", n)
+	}
+	if len(weights) != len(pts) {
+		return nil, fmt.Errorf("geo: %d weights for %d points", len(weights), len(pts))
+	}
+	if n > len(pts) {
+		return nil, fmt.Errorf("geo: %d bands over %d points", n, len(pts))
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.Lon != pb.Lon {
+			return pa.Lon < pb.Lon
+		}
+		if pa.Lat != pb.Lat {
+			return pa.Lat < pb.Lat
+		}
+		return order[a] < order[b]
+	})
+
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("geo: negative weight %g at index %d", w, i)
+		}
+		total += w
+	}
+	// A weightless set degrades to equal point counts.
+	uniform := total == 0
+	if uniform {
+		total = float64(len(pts))
+	}
+
+	bands := make([][]int, 0, n)
+	band := []int{}
+	var acc float64
+	for pos, idx := range order {
+		band = append(band, idx)
+		if uniform {
+			acc++
+		} else {
+			acc += weights[idx]
+		}
+		remainingPts := len(order) - pos - 1
+		remainingBands := n - len(bands) - 1
+		// Close the band at its proportional share of the total weight —
+		// or early, when the points left are only just enough to give
+		// every remaining band one.
+		share := total * float64(len(bands)+1) / float64(n)
+		if remainingBands > 0 && (acc >= share || remainingPts == remainingBands) {
+			bands = append(bands, band)
+			band = []int{}
+		}
+	}
+	bands = append(bands, band)
+	return bands, nil
+}

@@ -1,0 +1,122 @@
+package geo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionLonBands(t *testing.T) {
+	pts := []Point{
+		{Lat: 40, Lon: -74},  // 0: east
+		{Lat: 34, Lon: -118}, // 1: west
+		{Lat: 41, Lon: -87},  // 2: middle
+		{Lat: 29, Lon: -95},  // 3: middle-west
+	}
+	w := []float64{1, 1, 1, 1}
+	bands, err := PartitionLonBands(pts, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{1, 3}, {2, 0}} // west-to-east, equal counts
+	if !reflect.DeepEqual(bands, want) {
+		t.Errorf("bands = %v, want %v", bands, want)
+	}
+
+	// n=1 is the whole set in longitude order.
+	one, err := PartitionLonBands(pts, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, [][]int{{1, 3, 2, 0}}) {
+		t.Errorf("single band = %v", one)
+	}
+}
+
+func TestPartitionLonBandsWeighted(t *testing.T) {
+	// One heavy western point balances three light eastern ones.
+	pts := []Point{
+		{Lon: -120}, {Lon: -100}, {Lon: -90}, {Lon: -80},
+	}
+	bands, err := PartitionLonBands(pts, []float64{3, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0}, {1, 2, 3}}
+	if !reflect.DeepEqual(bands, want) {
+		t.Errorf("weighted bands = %v, want %v", bands, want)
+	}
+}
+
+func TestPartitionLonBandsEveryBandNonEmpty(t *testing.T) {
+	// All the weight on the first point must not starve later bands.
+	pts := make([]Point, 6)
+	w := make([]float64, 6)
+	for i := range pts {
+		pts[i] = Point{Lon: float64(-120 + 5*i)}
+	}
+	w[0] = 100
+	bands, err := PartitionLonBands(pts, w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != 4 {
+		t.Fatalf("got %d bands, want 4", len(bands))
+	}
+	seen := map[int]bool{}
+	for _, b := range bands {
+		if len(b) == 0 {
+			t.Fatalf("empty band in %v", bands)
+		}
+		for _, i := range b {
+			if seen[i] {
+				t.Fatalf("index %d in two bands: %v", i, bands)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("%d of %d points assigned: %v", len(seen), len(pts), bands)
+	}
+}
+
+func TestPartitionLonBandsDeterministicTies(t *testing.T) {
+	// Identical coordinates: the (Lon, Lat, index) order is total, so
+	// repeated calls split identically.
+	pts := []Point{{Lon: -90}, {Lon: -90}, {Lon: -90}, {Lon: -90}}
+	w := []float64{1, 1, 1, 1}
+	a, err := PartitionLonBands(pts, w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PartitionLonBands(pts, w, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tie split diverged: %v vs %v", a, b)
+	}
+	if !reflect.DeepEqual(a, [][]int{{0, 1}, {2, 3}}) {
+		t.Errorf("tie split = %v", a)
+	}
+}
+
+func TestPartitionLonBandsErrors(t *testing.T) {
+	pts := []Point{{Lon: 0}, {Lon: 1}}
+	if _, err := PartitionLonBands(pts, []float64{1, 1}, 0); err == nil {
+		t.Error("accepted 0 bands")
+	}
+	if _, err := PartitionLonBands(pts, []float64{1}, 1); err == nil {
+		t.Error("accepted mismatched weights")
+	}
+	if _, err := PartitionLonBands(pts, []float64{1, 1}, 3); err == nil {
+		t.Error("accepted more bands than points")
+	}
+	if _, err := PartitionLonBands(pts, []float64{-1, 1}, 1); err == nil {
+		t.Error("accepted negative weight")
+	}
+	// Zero total weight degrades to equal counts.
+	bands, err := PartitionLonBands(pts, []float64{0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bands, [][]int{{0}, {1}}) {
+		t.Errorf("zero-weight bands = %v", bands)
+	}
+}

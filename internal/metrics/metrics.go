@@ -74,6 +74,25 @@ func (s *Summary) Stddev() float64 {
 	return math.Sqrt(v)
 }
 
+// Merge folds another summary's observations into s, as if every Add on
+// o had been an Add on s. Merging is order-independent up to float
+// addition: shard-result merges always fold in a fixed (shard-index)
+// order so the combined bytes are reproducible.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	s.min = math.Min(s.min, o.min)
+	s.max = math.Max(s.max, o.max)
+	s.n += o.n
+	s.sum += o.sum
+	s.sumSquares += o.sumSquares
+}
+
 // String implements fmt.Stringer.
 func (s *Summary) String() string {
 	if s.n == 0 {
@@ -148,6 +167,17 @@ func (c *Counter) Get(label string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.counts[label]
+}
+
+// Merge folds another counter's counts into c (order-independent: the
+// result depends only on the multiset of Inc calls behind both).
+func (c *Counter) Merge(o *Counter) {
+	st := o.State()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range st {
+		c.counts[k] += v
+	}
 }
 
 // Labels returns all labels sorted.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -110,5 +111,51 @@ func TestCounterConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := c.Get("x"); got != 8000 {
 		t.Errorf("concurrent counter = %d", got)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	// Merging two summaries equals one summary over all observations.
+	var a, b, all Summary
+	for _, v := range []float64{3, -1, 7} {
+		a.Add(v)
+		all.Add(v)
+	}
+	for _, v := range []float64{2, 12} {
+		b.Add(v)
+		all.Add(v)
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Errorf("merged = %+v, want %+v", a, all)
+	}
+	// Merging an empty summary is a no-op; merging into an empty one
+	// copies the source.
+	var empty Summary
+	a.Merge(&empty)
+	if a != all {
+		t.Errorf("merge of empty changed state: %+v", a)
+	}
+	var dst Summary
+	dst.Merge(&all)
+	if dst != all {
+		t.Errorf("merge into empty = %+v, want %+v", dst, all)
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	a.Inc("x", 2)
+	a.Inc("y", 1)
+	b.Inc("x", 3)
+	b.Inc("z", 5)
+	a.Merge(b)
+	want := map[string]int64{"x": 5, "y": 1, "z": 5}
+	if got := a.State(); !reflect.DeepEqual(got, want) {
+		t.Errorf("merged counts = %v, want %v", got, want)
+	}
+	// The source is untouched.
+	if got := b.State(); !reflect.DeepEqual(got, map[string]int64{"x": 3, "z": 5}) {
+		t.Errorf("merge mutated source: %v", got)
 	}
 }

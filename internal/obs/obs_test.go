@@ -120,6 +120,47 @@ func TestTracerMerge(t *testing.T) {
 	}
 }
 
+func TestTracerMergeOrderIndependent(t *testing.T) {
+	// The shard coordinator merges per-shard tracers into one aggregate
+	// in shard-index order, but the guarantee must not depend on it:
+	// every accumulator is a sum or a max, so any merge order yields the
+	// same report.
+	mk := func(calls0, calls1 int) *Tracer {
+		w := NewTracer([]string{"a", "b"}, -1)
+		for i := 0; i < calls0; i++ {
+			w.End(0, w.Begin(0))
+		}
+		for i := 0; i < calls1; i++ {
+			w.End(1, w.Begin(1))
+		}
+		return w
+	}
+	workers := []*Tracer{mk(3, 1), mk(1, 4), mk(2, 2)}
+
+	forward := NewTracer([]string{"a", "b"}, -1)
+	for _, w := range workers {
+		if err := forward.Merge(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backward := NewTracer([]string{"a", "b"}, -1)
+	for i := len(workers) - 1; i >= 0; i-- {
+		if err := backward.Merge(workers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(forward.Report(), backward.Report()) {
+		t.Errorf("merge order changed the report:\nforward:  %+v\nbackward: %+v",
+			forward.Report(), backward.Report())
+	}
+	if got := forward.Report()[0].Calls; got != 6 {
+		t.Errorf("phase a calls = %d, want 6", got)
+	}
+	if got := forward.Report()[1].Calls; got != 7 {
+		t.Errorf("phase b calls = %d, want 7", got)
+	}
+}
+
 func TestRecorderWraparound(t *testing.T) {
 	r := NewFlightRecorder(4)
 	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)

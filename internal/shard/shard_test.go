@@ -1,0 +1,449 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/events"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+var (
+	worldOnce sync.Once
+	world     *sim.World
+	worldErr  error
+)
+
+func testWorld(t *testing.T) *sim.World {
+	t.Helper()
+	worldOnce.Do(func() { world, worldErr = sim.NewWorld(42) })
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return world
+}
+
+// baseConfig is a short region-level run the sharding tests partition.
+func baseConfig(region carbon.Region) sim.Config {
+	cfg := sim.DefaultConfig(region, placement.CarbonAware{})
+	cfg.Hours = 24 * 10
+	cfg.ArrivalsPerHour = 8
+	return cfg
+}
+
+// modeConfig applies one of the three engine modes to a base config.
+func modeConfig(t *testing.T, w *sim.World, region carbon.Region, mode string) sim.Config {
+	t.Helper()
+	cfg := baseConfig(region)
+	switch mode {
+	case "classic":
+	case "traffic":
+		cfg.Traffic = &traffic.Config{Scenario: traffic.FlashCrowd, RPS: 700}
+	case "faults":
+		sites := w.Dep.InRegion(region)
+		if len(sites) < 2 {
+			t.Fatalf("region %v has %d sites", region, len(sites))
+		}
+		cfg.Traffic = &traffic.Config{Scenario: traffic.Diurnal, RPS: 500}
+		cfg.Faults = &events.FaultScript{Faults: []events.Fault{
+			{At: 48 * time.Hour, Kind: events.FaultCrash, Site: sites[0].City, For: 24 * time.Hour},
+			{At: 96 * time.Hour, Kind: events.FaultDegrade, Zone: sites[1].ZoneID, Factor: 0.5, For: 12 * time.Hour},
+		}}
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+	return cfg
+}
+
+// stripState zeroes wall-clock telemetry so states compare bit-for-bit.
+func stripState(st sim.ResultState) sim.ResultState {
+	st.SolveTimeNs = 0
+	return st
+}
+
+func stateJSON(t *testing.T, st sim.ResultState) string {
+	t.Helper()
+	b, err := json.Marshal(stripState(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestPlanPartition(t *testing.T) {
+	w := testWorld(t)
+	base := baseConfig(carbon.RegionEurope)
+	base.Traffic = &traffic.Config{Scenario: traffic.Steady, RPS: 600}
+	cfg := Config{Base: base, Shards: 4, Exchange: true}
+	specs, err := Plan(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("planned %d shards, want 4", len(specs))
+	}
+	sites := w.Dep.InRegion(base.Region)
+	seen := map[string]int{}
+	var arrivals, rps float64
+	seeds := map[int64]bool{}
+	for s, spec := range specs {
+		if len(spec.Sites) == 0 {
+			t.Fatalf("shard %d owns no sites", s)
+		}
+		for _, city := range spec.Sites {
+			if prev, dup := seen[city]; dup {
+				t.Fatalf("site %s in shards %d and %d", city, prev, s)
+			}
+			seen[city] = s
+		}
+		if !spec.ForwardUnplaced {
+			t.Errorf("shard %d: Exchange did not set ForwardUnplaced", s)
+		}
+		arrivals += spec.ArrivalsPerHour
+		rps += spec.Traffic.RPS
+		seeds[spec.Seed] = true
+	}
+	if len(seen) != len(sites) {
+		t.Errorf("shards cover %d of %d region sites", len(seen), len(sites))
+	}
+	if diff := arrivals - base.ArrivalsPerHour; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("shard arrival rates sum to %g, want %g", arrivals, base.ArrivalsPerHour)
+	}
+	if diff := rps - base.Traffic.RPS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("shard traffic RPS sums to %g, want %g", rps, base.Traffic.RPS)
+	}
+	if len(seeds) != 4 {
+		t.Errorf("per-shard seeds collide: %v", seeds)
+	}
+
+	// Planning is pure: same inputs, same specs.
+	again, err := Plan(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specs, again) {
+		t.Error("Plan is not deterministic")
+	}
+}
+
+func TestPlanSplitsFaults(t *testing.T) {
+	w := testWorld(t)
+	base := baseConfig(carbon.RegionEurope)
+	sites := w.Dep.InRegion(base.Region)
+	base.Faults = &events.FaultScript{Faults: []events.Fault{
+		{At: 24 * time.Hour, Kind: events.FaultCrash, Site: sites[0].City, For: 12 * time.Hour},
+		{At: 48 * time.Hour, Kind: events.FaultDegrade, Zone: sites[0].ZoneID, Factor: 0.5, For: 6 * time.Hour},
+	}}
+	specs, err := Plan(Config{Base: base, Shards: 3}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteShards, zoneShards := 0, 0
+	for _, spec := range specs {
+		if spec.Faults == nil {
+			continue
+		}
+		for _, f := range spec.Faults.Faults {
+			switch {
+			case f.Site != "":
+				siteShards++
+				owns := false
+				for _, city := range spec.Sites {
+					owns = owns || city == f.Site
+				}
+				if !owns {
+					t.Errorf("site fault routed to shard not owning %s", f.Site)
+				}
+			case f.Zone != "":
+				zoneShards++
+			}
+		}
+	}
+	if siteShards != 1 {
+		t.Errorf("site fault appears in %d shards, want exactly 1", siteShards)
+	}
+	if zoneShards == 0 {
+		t.Error("zone fault routed to no shard")
+	}
+
+	base.Faults.Faults[0].Site = "Atlantis"
+	if _, err := Plan(Config{Base: base, Shards: 3}, w); err == nil {
+		t.Error("accepted fault targeting an unknown site")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	w := testWorld(t)
+	base := baseConfig(carbon.RegionEurope)
+
+	bad := Config{Base: base, Shards: 2}
+	bad.Base.Sites = []string{"London"}
+	if _, err := Plan(bad, w); err == nil {
+		t.Error("accepted pre-set Base.Sites")
+	}
+	bad = Config{Base: base, Shards: 2}
+	bad.Base.ForwardUnplaced = true
+	if _, err := Plan(bad, w); err == nil {
+		t.Error("accepted pre-set Base.ForwardUnplaced")
+	}
+	bad = Config{Base: base, Shards: 2}
+	bad.Base.FixedLoop = true
+	if _, err := Plan(bad, w); err == nil {
+		t.Error("accepted FixedLoop")
+	}
+	sites := w.Dep.InRegion(base.Region)
+	if _, err := Plan(Config{Base: base, Shards: len(sites) + 1}, w); err == nil {
+		t.Error("accepted more shards than sites")
+	}
+
+	// Shards <= 1 passes the base through untouched.
+	specs, err := Plan(Config{Base: base}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || !reflect.DeepEqual(specs[0], base) {
+		t.Errorf("unsharded plan altered the base config")
+	}
+}
+
+// TestShardedMatchesSerial is the headline determinism proof: with
+// Exchange off, every shard of a parallel coordinated run is
+// byte-identical to a standalone serial run of that shard's spec — in
+// all three engine modes — and a 1-shard coordinator reproduces the
+// plain serial run of the base config.
+func TestShardedMatchesSerial(t *testing.T) {
+	w := testWorld(t)
+	for _, mode := range []string{"classic", "traffic", "faults"} {
+		for _, shards := range []int{2, 4} {
+			cfg := Config{
+				Base:   modeConfig(t, w, carbon.RegionEurope, mode),
+				Shards: shards,
+			}
+			c, err := New(cfg, w)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", mode, shards, err)
+			}
+			if err := c.Run(); err != nil {
+				t.Fatalf("%s/%d: %v", mode, shards, err)
+			}
+			results := c.Results()
+			for s, spec := range c.Specs() {
+				serial, err := sim.Run(spec, w)
+				if err != nil {
+					t.Fatalf("%s/%d shard %d serial: %v", mode, shards, s, err)
+				}
+				got := stateJSON(t, results[s].State())
+				want := stateJSON(t, serial.State())
+				if got != want {
+					t.Errorf("%s/%d: shard %d diverged from its standalone serial run\n got: %s\nwant: %s",
+						mode, shards, s, got, want)
+				}
+			}
+		}
+
+		// One shard is exactly the serial path.
+		base := modeConfig(t, w, carbon.RegionEurope, mode)
+		c, err := New(Config{Base: base, Shards: 1}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		serial, err := sim.Run(base, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := stateJSON(t, c.Results()[0].State()), stateJSON(t, serial.State()); got != want {
+			t.Errorf("%s: 1-shard run diverged from serial\n got: %s\nwant: %s", mode, got, want)
+		}
+	}
+}
+
+// exchangeConfig provokes cross-shard interaction: a capacity-starved
+// deployment (unplaced arrivals forward) under bursty traffic (drops
+// spill over).
+func exchangeConfig(t *testing.T, w *sim.World) Config {
+	t.Helper()
+	base := modeConfig(t, w, carbon.RegionEurope, "faults")
+	base.Hours = 24 * 7
+	base.ArrivalsPerHour = 30
+	base.CapacityMilliPerSite = 600
+	base.AppLifetimeHours = 72
+	return Config{Base: base, Shards: 4, Exchange: true}
+}
+
+// TestShardedExchangeDeterministic proves worker count never changes
+// results: the same exchanged-coupled run with 1 worker and with one
+// worker per shard produces byte-identical per-shard and merged states.
+func TestShardedExchangeDeterministic(t *testing.T) {
+	w := testWorld(t)
+	run := func(workers int) (*Coordinator, []string, string) {
+		cfg := exchangeConfig(t, w)
+		cfg.Workers = workers
+		c, err := New(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var perShard []string
+		for _, r := range c.Results() {
+			perShard = append(perShard, stateJSON(t, r.State()))
+		}
+		merged, err := c.MergedState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, perShard, stateJSON(t, merged)
+	}
+
+	serialC, serialShards, serialMerged := run(1)
+	parallelC, parallelShards, parallelMerged := run(4)
+
+	if serialC.Stats() != parallelC.Stats() {
+		t.Errorf("exchange stats diverged: serial %+v parallel %+v", serialC.Stats(), parallelC.Stats())
+	}
+	for s := range serialShards {
+		if serialShards[s] != parallelShards[s] {
+			t.Errorf("shard %d state depends on worker count", s)
+		}
+	}
+	if serialMerged != parallelMerged {
+		t.Error("merged state depends on worker count")
+	}
+
+	// The workload must actually exercise the exchange, or the test
+	// proves nothing.
+	stats := serialC.Stats()
+	if stats.AppsForwarded == 0 {
+		t.Error("no apps forwarded: exchange untested (tune the workload)")
+	}
+	if stats.SpillRequests == 0 {
+		t.Error("no spill traffic: exchange untested (tune the workload)")
+	}
+	if stats.Messages == 0 {
+		t.Error("no messages delivered")
+	}
+}
+
+// TestShardedCheckpointRestore proves a sharded run checkpointed at a
+// round barrier and restored resumes bit-identically.
+func TestShardedCheckpointRestore(t *testing.T) {
+	w := testWorld(t)
+	cfg := exchangeConfig(t, w)
+	cfg.WindowHours = 12
+
+	c, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := (cfg.Base.Hours / cfg.WindowHours) / 2
+	for i := 0; i < half; i++ {
+		if err := c.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "world.ckpt")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFrom(cfg, w, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Round() != half {
+		t.Fatalf("restored at round %d, want %d", restored.Round(), half)
+	}
+
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(); err != nil {
+		t.Fatal(err)
+	}
+	origMerged, err := c.MergedState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMerged, err := restored.MergedState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stateJSON(t, resMerged), stateJSON(t, origMerged); got != want {
+		t.Errorf("resumed run diverged from uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+	if c.Stats() != restored.Stats() {
+		t.Errorf("exchange stats diverged: %+v vs %+v", c.Stats(), restored.Stats())
+	}
+
+	// Restoring under a different partition shape must fail closed.
+	bad := cfg
+	bad.Shards = 2
+	if _, err := NewFrom(bad, w, snap); err == nil {
+		t.Error("restored a 4-shard snapshot into a 2-shard config")
+	}
+}
+
+// TestShardedObsDeterministic proves the merged observability output is
+// independent of shard completion order: metrics scrapes and merged
+// phase reports are byte-identical across worker counts.
+func TestShardedObsDeterministic(t *testing.T) {
+	w := testWorld(t)
+	run := func(workers int) (string, []obs.PhaseStat) {
+		base := baseConfig(carbon.RegionEurope)
+		base.Hours = 24 * 5
+		base.Obs = &obs.Config{AllocProbeEvery: -1, FlightRecorderEvents: -1}
+		c, err := New(Config{Base: base, Shards: 4, Workers: workers}, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		c.RegisterMetrics(reg, "")
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		phases, err := c.MergedPhases()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), phases
+	}
+
+	serialText, serialPhases := run(1)
+	parallelText, parallelPhases := run(4)
+	if serialText != parallelText {
+		t.Errorf("metrics scrape depends on worker count:\nserial:\n%s\nparallel:\n%s", serialText, parallelText)
+	}
+	if len(serialPhases) == 0 {
+		t.Fatal("no merged phases from an Obs-enabled run")
+	}
+	if len(serialPhases) != len(parallelPhases) {
+		t.Fatalf("phase counts differ: %d vs %d", len(serialPhases), len(parallelPhases))
+	}
+	for i := range serialPhases {
+		if serialPhases[i].Name != parallelPhases[i].Name || serialPhases[i].Calls != parallelPhases[i].Calls {
+			t.Errorf("phase %d: %s/%d vs %s/%d", i,
+				serialPhases[i].Name, serialPhases[i].Calls,
+				parallelPhases[i].Name, parallelPhases[i].Calls)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+)
+
+// SnapshotKind tags a sharded-world checkpoint envelope.
+const SnapshotKind = "shard-world"
+
+// Snapshot is a resumable image of a sharded run at a round barrier: the
+// coordinator's own progress plus one sealed engine envelope per shard,
+// stitched into a single world snapshot. Each inner envelope carries its
+// own digest, so a corrupted shard payload fails closed on restore.
+type Snapshot struct {
+	// Sig fingerprints the shard Config (partition shape + base run);
+	// NewFrom rejects a snapshot taken under a different configuration.
+	Sig string `json:"sig"`
+	// Round is the next lock-step round to run.
+	Round  int           `json:"round"`
+	MsgSeq int           `json:"msg_seq"`
+	Drops  []int64       `json:"drops"`
+	Stats  ExchangeStats `json:"stats"`
+	// Engines holds one "engine"-kind envelope per shard, in shard-index
+	// order, keyed "shard-<i>".
+	Engines []checkpoint.Envelope `json:"engines"`
+}
+
+// configSig fingerprints the parts of Config that determine the sharded
+// trajectory. Workers is excluded: worker count never changes results.
+func configSig(cfg Config) string {
+	return fmt.Sprintf("shards=%d window=%d exchange=%t base{%s}",
+		cfg.shards(), cfg.windowHours(), cfg.Exchange, sim.ConfigSig(cfg.Base))
+}
+
+// Snapshot captures the coordinator at its current round barrier. Only
+// valid between RunRound calls (or after Run) — mid-round engine state
+// is owned by the workers.
+func (c *Coordinator) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{
+		Sig:    configSig(c.cfg),
+		Round:  c.round,
+		MsgSeq: c.msgSeq,
+		Drops:  append([]int64(nil), c.drops...),
+		Stats:  c.stats,
+	}
+	snap.Engines = make([]checkpoint.Envelope, len(c.engines))
+	for i, e := range c.engines {
+		env, err := checkpoint.Seal("engine", fmt.Sprintf("shard-%d", i), e.Snapshot())
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		snap.Engines[i] = *env
+	}
+	return snap, nil
+}
+
+// NewFrom rebuilds a coordinator from a snapshot: the partition is
+// re-planned from cfg, every shard engine restores from its sealed
+// envelope, and the coordinator resumes at the recorded round. The
+// resumed run is bit-identical to one that never checkpointed.
+func NewFrom(cfg Config, w *sim.World, snap *Snapshot) (*Coordinator, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("shard: nil snapshot")
+	}
+	if sig := configSig(cfg); snap.Sig != sig {
+		return nil, fmt.Errorf("shard: snapshot config signature mismatch:\n  snapshot: %s\n  restore:  %s", snap.Sig, sig)
+	}
+	specs, err := Plan(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Engines) != len(specs) {
+		return nil, fmt.Errorf("shard: snapshot has %d engines for %d shards", len(snap.Engines), len(specs))
+	}
+	if len(snap.Drops) != len(specs) {
+		return nil, fmt.Errorf("shard: snapshot has %d drop counters for %d shards", len(snap.Drops), len(specs))
+	}
+	engines := make([]*sim.Engine, len(specs))
+	for i := range specs {
+		raw, err := snap.Engines[i].Open("engine")
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		var es sim.Snapshot
+		if err := json.Unmarshal(raw, &es); err != nil {
+			return nil, fmt.Errorf("shard %d: decoding engine snapshot: %w", i, err)
+		}
+		engines[i], err = sim.NewEngineFrom(specs[i], w, &es)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		specs:   specs,
+		engines: engines,
+		round:   snap.Round,
+		msgSeq:  snap.MsgSeq,
+		drops:   append([]int64(nil), snap.Drops...),
+		stats:   snap.Stats,
+	}
+	wh := cfg.windowHours()
+	c.rounds = (cfg.Base.Hours + wh - 1) / wh
+	// Rewind the clock origin from the restored epoch: engine i is at
+	// epoch round*window (capped by Hours), and PeekNextTime always
+	// reports start + epoch hours.
+	c.start = engines[0].PeekNextTime().Add(-time.Duration(engines[0].Epoch()) * time.Hour)
+	return c, nil
+}
+
+// Save writes the coordinator's snapshot to path as a sealed checkpoint.
+func (c *Coordinator) Save(path string) error {
+	snap, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	return checkpoint.Save(path, SnapshotKind, snap)
+}
+
+// Load reads a sharded-world snapshot written by Save.
+func Load(path string) (*Snapshot, error) {
+	var snap Snapshot
+	if err := checkpoint.Load(path, SnapshotKind, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

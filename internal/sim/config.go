@@ -52,6 +52,18 @@ type Config struct {
 	// Region restricts the deployment (the paper evaluates US and
 	// Europe separately).
 	Region carbon.Region
+	// Sites, when non-empty, restricts the run to the named cities within
+	// Region (every name must exist there). The shard coordinator uses it
+	// to hand each engine a disjoint slice of the region; a run over a
+	// site subset is an ordinary, standalone simulation in every other
+	// respect.
+	Sites []string
+	// ForwardUnplaced exports fresh arrivals that found no feasible
+	// server to the engine's outbox (Engine.TakeForwarded) instead of
+	// counting them Unplaced, so a shard coordinator can retry them on a
+	// neighboring shard. Off (the default), unplaced arrivals are dropped
+	// exactly as before.
+	ForwardUnplaced bool
 	// Policy is the placement objective.
 	Policy placement.Policy
 	// RTTLimitMs is the apps' round-trip SLO (paper default: 20 ms).

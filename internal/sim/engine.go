@@ -113,6 +113,15 @@ type Engine struct {
 	downCount int
 	evictSeq  int
 
+	// Cross-shard exchange state (see exchange.go): gateway is the
+	// shard's ingress site; outbox collects unplaced fresh arrivals when
+	// cfg.ForwardUnplaced; inApps/inReqs hold coordinator-injected
+	// arrivals and request volume, consumed at their target epoch.
+	gateway int
+	outbox  []ForwardedApp
+	inApps  []inboxApp
+	inReqs  []inboxReq
+
 	res  *Result
 	live []liveApp
 	// pending accrues arrivals between batch drains; pendingSpare is the
@@ -183,6 +192,25 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sim: no sites in region %v", cfg.Region)
 	}
+	if len(cfg.Sites) > 0 {
+		allow := make(map[string]bool, len(cfg.Sites))
+		for _, city := range cfg.Sites {
+			allow[city] = true
+		}
+		sub := sites[:0:0]
+		for _, s := range sites {
+			if allow[s.City] {
+				sub = append(sub, s)
+				delete(allow, s.City)
+			}
+		}
+		if len(allow) > 0 {
+			for city := range allow {
+				return nil, fmt.Errorf("sim: Sites names %q, not a site in region %v", city, cfg.Region)
+			}
+		}
+		sites = sub
+	}
 	src := rng.NewSource(cfg.Seed)
 	e := &Engine{
 		cfg:    cfg,
@@ -243,6 +271,14 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 
 	// Demand and capacity weights.
 	e.demandW = weights(sites, cfg.Demand)
+	// The gateway site is the exchange ingress: forwarded arrivals and
+	// spill-over traffic a shard coordinator injects originate at the
+	// highest-demand site (lowest index on ties).
+	for i, dw := range e.demandW {
+		if dw > e.demandW[e.gateway] {
+			e.gateway = i
+		}
+	}
 	capW := weights(sites, cfg.Capacity)
 	var capTotal float64
 	for _, v := range capW {
@@ -407,6 +443,23 @@ func (e *Engine) Epoch() int { return e.epoch }
 // Done reports whether the configured span has been simulated.
 func (e *Engine) Done() bool { return e.epoch >= e.cfg.Hours }
 
+// HasPending reports whether the engine still has epochs to dispatch —
+// the shared-clock coordinator form of !Done(). Together with
+// PeekNextTime and ProcessNext it lets a multi-engine coordinator
+// interleave several engines on one simulated clock.
+func (e *Engine) HasPending() bool { return !e.Done() }
+
+// PeekNextTime returns the simulated instant of the next pending epoch
+// (meaningless once HasPending is false). A coordinator steps every
+// engine whose next instant falls inside the current time window.
+func (e *Engine) PeekNextTime() time.Time {
+	return e.start.Add(time.Duration(e.epoch) * time.Hour)
+}
+
+// ProcessNext advances the next pending epoch: Step under its
+// shared-clock coordinator name.
+func (e *Engine) ProcessNext() error { return e.Step() }
+
 // Finish returns the accumulated result. It may be called mid-run to
 // inspect partial state; the engine keeps owning the pointer until Done.
 func (e *Engine) Finish() *Result { return e.res }
@@ -443,8 +496,12 @@ func (e *Engine) Step() error {
 			}
 		}
 	default:
-		for ev, ok := e.tl.PopDue(now); ok; ev, ok = e.tl.PopDue(now) {
-			if err := ev.Apply(now); err != nil {
+		for {
+			ev, ok, err := e.tl.ProcessNext(now)
+			if !ok {
+				break
+			}
+			if err != nil {
 				return fmt.Errorf("sim: epoch %d %s event: %w", epoch, ev.Kind, err)
 			}
 		}
@@ -642,6 +699,10 @@ type pendingApp struct {
 	src       int // source site index
 	expires   int // fixed departure epoch; -1 = AppLifetimeHours from placement
 	evictedAt int // epoch of eviction; -1 for fresh arrivals
+	// injected marks a cross-shard forwarded arrival: if it goes
+	// unplaced again it is dropped (Unplaced) rather than re-forwarded,
+	// so exchanged apps travel at most one hop.
+	injected bool
 }
 
 // queueID returns the interned ID for backlog position pos, growing the
@@ -679,6 +740,7 @@ func (e *Engine) stepArrivals() {
 		})
 		e.appSeq++
 	}
+	e.consumeInboxApps()
 }
 
 // drainBatch empties the backlog every BatchHours (Algorithm 1 batching)
@@ -839,6 +901,11 @@ func (e *Engine) stepPlacement(batch []pendingApp, now time.Time, epoch, month i
 				p := batch[i]
 				p.app.ID = e.queueID(len(e.pending))
 				e.pending = append(e.pending, p)
+			} else if e.cfg.ForwardUnplaced && !batch[i].injected {
+				// Export the arrival for placement on another shard
+				// instead of dropping it; the destination charges
+				// Unplaced if it cannot host it either (one hop max).
+				e.outbox = append(e.outbox, ForwardedApp{Epoch: epoch, Model: apps[i].Model})
 			} else {
 				e.res.Unplaced++
 			}
@@ -914,6 +981,19 @@ func (e *Engine) stepTraffic(now time.Time, epoch, month int) error {
 		if n > 0 {
 			sl.RouteAt(i, n, e.intensityFn)
 		}
+	}
+	// Cross-shard spill-over volume due this epoch routes from the
+	// gateway after the epoch's own sources, in injection order.
+	if len(e.inReqs) > 0 {
+		keep := e.inReqs[:0]
+		for _, p := range e.inReqs {
+			if p.epoch > epoch {
+				keep = append(keep, p)
+				continue
+			}
+			sl.RouteAt(e.gateway, p.n, e.intensityFn)
+		}
+		e.inReqs = keep
 	}
 	sl.Close()
 	e.res.EnergyKWh += st.EnergyKWh - kwh0

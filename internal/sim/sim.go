@@ -149,6 +149,13 @@ func (a *liveApp) demand(cfg Config) cluster.Resources {
 	return cluster.NewResources(occupancy, 64, prof.MemMB, cfg.RatePerSec*2)
 }
 
+// ScenarioWeights exposes the per-site demand/capacity weighting engines
+// use, so the shard planner can split region-level arrival and traffic
+// rates proportionally to each shard's demand share.
+func ScenarioWeights(sites []*deploy.Site, s Scenario) []float64 {
+	return weights(sites, s)
+}
+
 // weights computes per-site weights for a scenario.
 func weights(sites []*deploy.Site, s Scenario) []float64 {
 	out := make([]float64, len(sites))

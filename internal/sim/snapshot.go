@@ -45,6 +45,13 @@ type Snapshot struct {
 	Live    []LiveAppSnap `json:"live"`
 	Pending []PendingSnap `json:"pending,omitempty"`
 
+	// Cross-shard exchange mailboxes (empty outside coordinator runs):
+	// the outbox of forwarded-but-undrained arrivals and the inboxes of
+	// injected work not yet due.
+	Outbox []ForwardedApp `json:"outbox,omitempty"`
+	InApps []InboxAppSnap `json:"inbox_apps,omitempty"`
+	InReqs []InboxReqSnap `json:"inbox_reqs,omitempty"`
+
 	Result ResultState `json:"result"`
 
 	// Recorder carries the flight recorder's ring (Config.Obs runs only)
@@ -86,6 +93,19 @@ type PendingSnap struct {
 	Src       int           `json:"src"`
 	Expires   int           `json:"expires"`
 	EvictedAt int           `json:"evicted_at"`
+	Injected  bool          `json:"injected,omitempty"`
+}
+
+// InboxAppSnap is one coordinator-injected arrival awaiting its epoch.
+type InboxAppSnap struct {
+	Epoch int    `json:"epoch"`
+	Model string `json:"model"`
+}
+
+// InboxReqSnap is coordinator-injected request volume awaiting its epoch.
+type InboxReqSnap struct {
+	Epoch int   `json:"epoch"`
+	N     int64 `json:"n"`
 }
 
 // ResultState is the serializable form of a Result. Maps are encoded
@@ -200,9 +220,9 @@ func (st ResultState) Restore() (*Result, error) {
 // versa), and sweep journals stay valid across obs toggles.
 func ConfigSig(cfg Config) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed=%d region=%v policy=%T%+v rtt=%g hours=%d start=%d arrivals=%g life=%d",
-		cfg.Seed, cfg.Region, cfg.Policy, cfg.Policy, cfg.RTTLimitMs, cfg.Hours, cfg.StartHour,
-		cfg.ArrivalsPerHour, cfg.AppLifetimeHours)
+	fmt.Fprintf(&b, "seed=%d region=%v sites=%v forward=%t policy=%T%+v rtt=%g hours=%d start=%d arrivals=%g life=%d",
+		cfg.Seed, cfg.Region, cfg.Sites, cfg.ForwardUnplaced, cfg.Policy, cfg.Policy, cfg.RTTLimitMs,
+		cfg.Hours, cfg.StartHour, cfg.ArrivalsPerHour, cfg.AppLifetimeHours)
 	fmt.Fprintf(&b, " model=%s models=%v rate=%g devices=%v cap=%g demand=%v capacity=%v alwayson=%t",
 		cfg.Model, cfg.Models, cfg.RatePerSec, cfg.Devices, cfg.CapacityMilliPerSite,
 		cfg.Demand, cfg.Capacity, cfg.ServersAlwaysOn)
@@ -261,8 +281,17 @@ func (e *Engine) Snapshot() *Snapshot {
 	if len(e.pending) > 0 {
 		snap.Pending = make([]PendingSnap, len(e.pending))
 		for i, p := range e.pending {
-			snap.Pending[i] = PendingSnap{App: p.app, Src: p.src, Expires: p.expires, EvictedAt: p.evictedAt}
+			snap.Pending[i] = PendingSnap{App: p.app, Src: p.src, Expires: p.expires, EvictedAt: p.evictedAt, Injected: p.injected}
 		}
+	}
+	if len(e.outbox) > 0 {
+		snap.Outbox = append([]ForwardedApp(nil), e.outbox...)
+	}
+	for _, p := range e.inApps {
+		snap.InApps = append(snap.InApps, InboxAppSnap{Epoch: p.epoch, Model: p.model})
+	}
+	for _, p := range e.inReqs {
+		snap.InReqs = append(snap.InReqs, InboxReqSnap{Epoch: p.epoch, N: p.n})
 	}
 	if e.recorder != nil {
 		st := e.recorder.State()
@@ -350,7 +379,15 @@ func NewEngineFrom(cfg Config, w *World, snap *Snapshot) (*Engine, error) {
 	}
 	e.pending = nil
 	for _, ps := range snap.Pending {
-		e.pending = append(e.pending, pendingApp{app: ps.App, src: ps.Src, expires: ps.Expires, evictedAt: ps.EvictedAt})
+		e.pending = append(e.pending, pendingApp{app: ps.App, src: ps.Src, expires: ps.Expires, evictedAt: ps.EvictedAt, injected: ps.Injected})
+	}
+	e.outbox = append([]ForwardedApp(nil), snap.Outbox...)
+	e.inApps, e.inReqs = nil, nil
+	for _, ps := range snap.InApps {
+		e.inApps = append(e.inApps, inboxApp{epoch: ps.Epoch, model: ps.Model})
+	}
+	for _, ps := range snap.InReqs {
+		e.inReqs = append(e.inReqs, inboxReq{epoch: ps.Epoch, n: ps.N})
 	}
 
 	e.rngSrc.Restore(snap.RNG)

@@ -1,0 +1,47 @@
+GO ?= go
+
+.PHONY: all build test race bench-smoke bench-guard bench-profile
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/placement/ ./internal/sim/ ./internal/shard/
+
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-guard reproduces the CI regression gate locally: the guarded
+# solver benchmarks run three times and the last run is compared against
+# the BENCH_09.json baselines (15% tolerance on machine-independent
+# speedup ratios).
+bench-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkWarmSolveChurn|BenchmarkIncrementalPlacement' \
+		-benchtime 3x . | tee /tmp/bench-guard.out
+	$(GO) run ./cmd/benchguard -baseline BENCH_09.json /tmp/bench-guard.out
+
+# bench-profile records CPU and allocation profiles of the two solver
+# hot-path benchmarks and prints the top-10 flat summaries. The
+# checked-in snapshot of those summaries lives in profiles/PROFILE_09.md;
+# regenerate it with this target after solver changes. The benchmarks
+# run in separate invocations: profiling needs a single test binary
+# (so the repo root package, not ./...), and BenchmarkTimelineReplay's
+# overhead differencing is only meaningful without another benchmark's
+# GC pressure in the same process.
+bench-profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalPlacement' \
+		-benchtime 3x -cpuprofile profiles/solver-cpu.pprof \
+		-memprofile profiles/solver-mem.pprof -o profiles/bench.test .
+	$(GO) test -run '^$$' -bench 'BenchmarkTimelineReplay$$' \
+		-benchtime 1x -cpuprofile profiles/replay-cpu.pprof \
+		-memprofile profiles/replay-mem.pprof -o profiles/bench.test .
+	$(GO) tool pprof -top -nodecount=10 profiles/bench.test profiles/solver-cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space profiles/bench.test profiles/solver-mem.pprof
+	$(GO) tool pprof -top -nodecount=10 profiles/bench.test profiles/replay-cpu.pprof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space profiles/bench.test profiles/replay-mem.pprof

@@ -97,6 +97,34 @@ func (p *Problem) AddConstraint(coeffs map[int]float64, op Op, rhs float64) erro
 	return nil
 }
 
+// AddConstraintShared appends a constraint row that aliases coeffs instead
+// of copying it. The caller promises not to mutate the map while the
+// problem is in use; Solve never writes to rows, so one map may back rows
+// in many problems (the MILP solver shares its structural rows and
+// per-variable bound rows across every branch-and-bound node this way).
+// Unlike AddConstraint, explicit zero coefficients are kept; they are
+// harmless to the solve.
+func (p *Problem) AddConstraintShared(coeffs map[int]float64, op Op, rhs float64) error {
+	for i := range coeffs {
+		if i < 0 || i >= p.numVars {
+			return fmt.Errorf("lp: constraint index %d out of range [0,%d)", i, p.numVars)
+		}
+	}
+	p.rows = append(p.rows, Constraint{Coeffs: coeffs, Op: op, RHS: rhs})
+	return nil
+}
+
+// TruncateConstraints drops every constraint row after the first n,
+// keeping their capacity for reuse. It lets a caller keep a problem's
+// expensive structural prefix and re-append a cheap varying suffix (the
+// branch-and-bound per-node variable bounds). n outside [0, NumConstraints]
+// is ignored.
+func (p *Problem) TruncateConstraints(n int) {
+	if n >= 0 && n <= len(p.rows) {
+		p.rows = p.rows[:n]
+	}
+}
+
 // Status reports the outcome of a solve.
 type Status int
 

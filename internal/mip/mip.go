@@ -225,6 +225,11 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 	queue := &nodeQueue{root}
 	heap.Init(queue)
 
+	rc, err := p.newRelaxation()
+	if err != nil {
+		return nil, err
+	}
+
 	var incumbent []float64
 	incumbentObj := math.Inf(1)
 
@@ -238,7 +243,7 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 	if x, obj, ok := p.validIncumbent(opt.Incumbent, opt.IntTol); ok {
 		incumbent = x
 		incumbentObj = obj
-	} else if x, obj, ok := p.dive(opt.IntTol); ok {
+	} else if x, obj, ok := p.dive(rc, opt.IntTol); ok {
 		incumbent = x
 		incumbentObj = obj
 	}
@@ -257,7 +262,7 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 		}
 		nodes++
 
-		sol, err := p.solveRelaxation(nd)
+		sol, err := rc.solve(nd)
 		if err != nil {
 			return nil, err
 		}
@@ -348,38 +353,67 @@ func (p *Problem) Solve(opt Options) (*Solution, error) {
 	}
 }
 
-// solveRelaxation solves the LP relaxation of the base problem with the
-// node's bounds and the global upper bounds applied.
-func (p *Problem) solveRelaxation(nd *node) (*lp.Solution, error) {
-	n := p.n
-	rel := lp.NewProblem(n)
-	for i := 0; i < n; i++ {
+// relaxation is the reusable LP scaffold for one branch-and-bound run.
+// Nodes differ from each other only in per-variable bounds, yet the old
+// per-node build re-copied the objective, every structural constraint map,
+// and n fresh singleton bound maps for every node explored. Here the
+// objective and structural rows are installed once (sharing the MILP's own
+// coefficient maps — lp.Solve never mutates rows), and each node solve
+// truncates back to the structural prefix and re-appends only that node's
+// bound rows, reusing one {i: 1} map per variable across all nodes.
+//
+// Row order — structural rows first, then for each variable i ascending:
+// upper bound (when finite), lower bound (when positive) — reproduces the
+// former from-scratch build exactly, so the simplex tableau, its pivot
+// sequence, and the returned solutions are bit-identical.
+type relaxation struct {
+	p        *Problem
+	rel      *lp.Problem
+	baseRows int
+	unit     []map[int]float64
+}
+
+func (p *Problem) newRelaxation() (*relaxation, error) {
+	rel := lp.NewProblem(p.n)
+	for i := 0; i < p.n; i++ {
 		if err := rel.SetObjective(i, p.obj[i]); err != nil {
 			return nil, err
 		}
 	}
 	for _, r := range p.rows {
-		if err := rel.AddConstraint(r.coeffs, r.op, r.rhs); err != nil {
+		if err := rel.AddConstraintShared(r.coeffs, r.op, r.rhs); err != nil {
 			return nil, err
 		}
 	}
-	for i := 0; i < n; i++ {
+	unit := make([]map[int]float64, p.n)
+	for i := range unit {
+		unit[i] = map[int]float64{i: 1}
+	}
+	return &relaxation{p: p, rel: rel, baseRows: rel.NumConstraints(), unit: unit}, nil
+}
+
+// solve solves the LP relaxation of the base problem with the node's
+// bounds and the global upper bounds applied.
+func (rc *relaxation) solve(nd *node) (*lp.Solution, error) {
+	p := rc.p
+	rc.rel.TruncateConstraints(rc.baseRows)
+	for i := 0; i < p.n; i++ {
 		ub := p.upper[i]
 		if nb, ok := nd.upper[i]; ok && nb < ub {
 			ub = nb
 		}
 		if !math.IsInf(ub, 1) {
-			if err := rel.AddConstraint(map[int]float64{i: 1}, lp.LE, ub); err != nil {
+			if err := rc.rel.AddConstraintShared(rc.unit[i], lp.LE, ub); err != nil {
 				return nil, err
 			}
 		}
 		if lb, ok := nd.lower[i]; ok && lb > 0 {
-			if err := rel.AddConstraint(map[int]float64{i: 1}, lp.GE, lb); err != nil {
+			if err := rc.rel.AddConstraintShared(rc.unit[i], lp.GE, lb); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return rel.Solve(0)
+	return rc.rel.Solve(0)
 }
 
 func copyBounds(m map[int]float64) map[int]float64 {
@@ -466,11 +500,11 @@ func (p *Problem) validIncumbent(x []float64, intTol float64) ([]float64, float6
 // variable to its nearest value (flipping once on infeasibility) until the
 // relaxation is integral. Returns the incumbent, its true objective, and
 // whether the dive succeeded.
-func (p *Problem) dive(intTol float64) ([]float64, float64, bool) {
+func (p *Problem) dive(rc *relaxation, intTol float64) ([]float64, float64, bool) {
 	nd := &node{lower: map[int]float64{}, upper: map[int]float64{}}
 	maxSteps := 2*len(p.integer) + 10
 	for step := 0; step < maxSteps; step++ {
-		sol, err := p.solveRelaxation(nd)
+		sol, err := rc.solve(nd)
 		if err != nil || sol.Status != lp.Optimal {
 			return nil, 0, false
 		}
@@ -496,7 +530,7 @@ func (p *Problem) dive(intTol float64) ([]float64, float64, bool) {
 		}
 		r := math.Round(x[branch])
 		nd.lower[branch], nd.upper[branch] = r, r
-		if probe, err := p.solveRelaxation(nd); err != nil || probe.Status != lp.Optimal {
+		if probe, err := rc.solve(nd); err != nil || probe.Status != lp.Optimal {
 			// Flip to the other neighbouring integer once.
 			var flip float64
 			if r > x[branch] {

@@ -17,6 +17,10 @@ import (
 type ExactSolver struct {
 	// Options tune the underlying MILP search.
 	Options mip.Options
+	// SkipValidate skips the per-solve structural validation of the
+	// problem; set it only for trusted problem sources that already
+	// validated at their boundary (Placer does).
+	SkipValidate bool
 }
 
 // NewExactSolver returns an exact solver with a 30s default time limit and
@@ -43,8 +47,10 @@ func (s *ExactSolver) SolveWarm(p *Problem, pol Policy, warm *Assignment) (*Assi
 }
 
 func (s *ExactSolver) solve(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+	if !s.SkipValidate {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	n, m := len(p.Apps), len(p.Servers)
 

@@ -2,9 +2,36 @@ package placement
 
 import (
 	"math"
+	"reflect"
 	"sync"
 
 	"repro/internal/cluster"
+)
+
+// SearchMode selects the local-search engine inside HeuristicSolver. All
+// modes produce byte-identical assignments (the flattened path provably
+// skips only scans that cannot move anything; see
+// TestWorkspaceIncrementalEquivalence and TestSolverSearchModesEquivalent);
+// they differ only in how much work a pass costs.
+type SearchMode int
+
+const (
+	// SearchAuto picks the flattened search (memoized cost rows plus the
+	// dirty-app work queue). It is the default.
+	SearchAuto SearchMode = iota
+	// SearchFlat forces the flattened search: policy costs are memoized
+	// into flat rows shared across identical app classes, after pass 0
+	// only apps whose candidate servers changed in a scan-visible way are
+	// re-scanned (server -> app reverse adjacency filtered by capacity
+	// threshold flips), and a converged solve carries over to the next one
+	// on the same workspace view, so a warm re-solve costs O(changed apps
+	// x candidates) instead of O(apps x candidates).
+	SearchFlat
+	// SearchSweep forces the pre-flattening reference loop: every pass
+	// re-scans every app and re-derives every pair cost through the
+	// Policy interface. It exists as the proven baseline for equivalence
+	// tests and the BenchmarkWarmSolveChurn speedup gate.
+	SearchSweep
 )
 
 // HeuristicSolver is the scalable backend: cost-greedy construction
@@ -14,12 +41,22 @@ import (
 // optimum (see BenchmarkAblationSolver).
 //
 // The solver owns reusable search scratch (capacity vectors, assignment
-// arrays, validation sets), so repeated solves allocate nothing in steady
-// state. A mutex serializes solves; concurrent callers should prefer one
-// solver per goroutine.
+// arrays, validation sets, memoized cost rows, the converged-state
+// continuation), so repeated solves allocate nothing in steady state. A
+// mutex serializes solves; concurrent callers should prefer one solver per
+// goroutine.
 type HeuristicSolver struct {
 	// MaxPasses caps local-search sweeps (0 = 8).
 	MaxPasses int
+	// Search selects the local-search engine (default SearchAuto).
+	Search SearchMode
+	// SkipValidate skips the per-solve structural validation of the
+	// problem (unique IDs, matrix shapes, ascending candidate lists).
+	// Owners of trusted problem sources — the sim engine solving
+	// workspace-assembled views with generated IDs — set it so the
+	// per-epoch hot loop pays no map-building; external entry points
+	// (Placer) keep full validation at their boundary.
+	SkipValidate bool
 
 	mu  sync.Mutex
 	st  state
@@ -28,6 +65,11 @@ type HeuristicSolver struct {
 	// order/options are the greedy-construction ordering scratch.
 	order   []int
 	options []int
+	// memo holds the flattened-search cost rows and reverse adjacency.
+	memo costMemo
+	// cont is the converged state of the last flattened solve; the next
+	// solve on the same workspace view scans only what changed since.
+	cont continuation
 }
 
 // NewHeuristicSolver returns a solver with default search effort.
@@ -42,6 +84,372 @@ func grow[T any](b []T, n int) []T {
 	return b[:n]
 }
 
+// rowKey identifies an app class from the solver's point of view: two apps
+// with equal keys have identical candidate lists, demand, power, and
+// latency coefficients on every server (the Workspace memoizes all four by
+// exactly these attributes), so under a CoefficientPolicy they share one
+// memoized cost row.
+type rowKey struct {
+	source string
+	model  string
+	slo    float64
+	rate   float64
+}
+
+// maxDistinctDemands bounds the per-server list of distinct demand vectors
+// kept for capacity-threshold flip tests. A server whose adjacent apps
+// span more classes than this is treated as always-flipping (every
+// capacity change re-scans its apps — the pre-flattening behavior).
+const maxDistinctDemands = 8
+
+// costMemo is the flattened view of one (problem, policy) pair: every
+// policy cost the local search can ask for, resolved once into flat
+// arrays, plus the server -> apps reverse adjacency the dirty-app queue
+// marks through and the per-server distinct-demand lists its capacity
+// filter tests against.
+//
+// For workspace views (Problem.costGen != 0) under a CoefficientPolicy,
+// the memo caches at two granularities: the structure (row layout, static
+// feasibility, adjacency, demand lists) survives as long as the batch and
+// fleet are unchanged, and the cost values survive as long as the
+// workspace's cost generation is unchanged — so a pure carbon-intensity
+// tick re-evaluates only one row per app class, and a pure batch-churn
+// round re-evaluates nothing but the structure. Dense problems (costGen
+// 0) and batch-dependent policies are conservatively rebuilt every solve.
+type costMemo struct {
+	p       *Problem
+	pol     Policy
+	m       int    // server count the structure is laid out for
+	costGen uint64 // cost generation the rows were evaluated at
+	// hasStruct marks the structural cache (and row sharing) valid: a
+	// workspace view solved under a CoefficientPolicy.
+	hasStruct bool
+
+	// apps is the batch the structure was built for (hasStruct only).
+	apps []App
+	// groups/rep implement row sharing: rep[i] is the lowest app index
+	// with app i's rowKey; off[i] aliases off[rep[i]]'s span.
+	groups map[rowKey]int32
+	rep    []int32
+
+	// off[i] is app i's base slot in row/ok (one slot per candidate, in
+	// candidate order; spans are shared between apps of one class).
+	off []int
+	// row[slot] is pol.PairCost for the slot's (app, server) pair.
+	row []float64
+	// ok[slot] is the static feasibility gate (compatibility + latency);
+	// only capacity remains to be checked during a scan.
+	ok []bool
+	// act[j] is pol.ActivationCost(p, j).
+	act []float64
+
+	// revOff/revApp is the CSR reverse adjacency: revApp[revOff[j]:
+	// revOff[j+1]] lists the apps (ascending) whose candidate lists
+	// contain server j. The dirty-app queue marks through it.
+	revOff []int
+	revApp []int
+	cursor []int // CSR fill scratch
+
+	// dOff/dLen/dVal list the distinct demand vectors among each server's
+	// adjacent feasible slots; dBig[j] reports overflow past
+	// maxDistinctDemands. fitsFlip tests capacity changes against them.
+	dOff []int
+	dLen []int32
+	dVal []cluster.Resources
+	dBig []bool
+}
+
+// samePolicy reports whether two policies are the same comparable value.
+// Policies with non-comparable dynamic types never match (the memo is
+// rebuilt, which is always safe).
+func samePolicy(a, b Policy) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// appsEqual reports element-wise equality (App is comparable).
+func appsEqual(a, b []App) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare makes the memo current for (p, pol), reusing whatever layers of
+// the cache remain valid.
+func (mm *costMemo) prepare(p *Problem, pol Policy) {
+	_, coeff := pol.(CoefficientPolicy)
+	shareable := coeff && p.costGen != 0 && p.Candidates != nil
+	if mm.hasStruct && shareable && mm.p == p && mm.m == len(p.Servers) &&
+		samePolicy(mm.pol, pol) && appsEqual(mm.apps, p.Apps) {
+		if mm.costGen == p.costGen {
+			return // full hit: same batch, same cost inputs
+		}
+		// Same batch, new cost inputs (intensity tick, power-state
+		// change): re-evaluate the rows, keep the structure.
+		mm.evalRows(p, pol)
+		mm.costGen = p.costGen
+		return
+	}
+	mm.build(p, pol, shareable)
+}
+
+// evalRows (re)computes the policy costs over the existing structure.
+func (mm *costMemo) evalRows(p *Problem, pol Policy) {
+	for j := range p.Servers {
+		mm.act[j] = pol.ActivationCost(p, j)
+	}
+	for i := range p.Apps {
+		if int(mm.rep[i]) != i {
+			continue
+		}
+		base := mm.off[i]
+		for k, j := range p.CandidatesOf(i) {
+			if mm.ok[base+k] {
+				mm.row[base+k] = pol.PairCost(p, i, j)
+			} else {
+				mm.row[base+k] = 0
+			}
+		}
+	}
+}
+
+// build lays the memo out from scratch for (p, pol).
+func (mm *costMemo) build(p *Problem, pol Policy, shareable bool) {
+	n, m := len(p.Apps), len(p.Servers)
+
+	// Row sharing: group apps by class. Without sharing every app is its
+	// own representative.
+	mm.rep = grow(mm.rep, n)
+	if shareable {
+		if mm.groups == nil {
+			mm.groups = make(map[rowKey]int32, 64)
+		} else {
+			clear(mm.groups)
+		}
+		for i := range p.Apps {
+			a := &p.Apps[i]
+			k := rowKey{a.Source, a.Model, a.SLOms, a.RatePerSec}
+			if r, dup := mm.groups[k]; dup {
+				mm.rep[i] = r
+			} else {
+				mm.groups[k] = int32(i)
+				mm.rep[i] = int32(i)
+			}
+		}
+	} else {
+		for i := range mm.rep {
+			mm.rep[i] = int32(i)
+		}
+	}
+
+	mm.off = grow(mm.off, n)
+	total := 0
+	for i := range p.Apps {
+		if r := int(mm.rep[i]); r != i {
+			mm.off[i] = mm.off[r]
+			continue
+		}
+		mm.off[i] = total
+		total += len(p.CandidatesOf(i))
+	}
+	mm.row = grow(mm.row, total)
+	mm.ok = grow(mm.ok, total)
+	for i := range p.Apps {
+		if int(mm.rep[i]) != i {
+			continue
+		}
+		base := mm.off[i]
+		slo := p.Apps[i].SLOms
+		for k, j := range p.CandidatesOf(i) {
+			ok := p.Compatible[i][j] && p.LatencyMs[i][j] <= slo+1e-9
+			mm.ok[base+k] = ok
+			if ok {
+				mm.row[base+k] = pol.PairCost(p, i, j)
+			} else {
+				mm.row[base+k] = 0
+			}
+		}
+	}
+	mm.act = grow(mm.act, m)
+	for j := range p.Servers {
+		mm.act[j] = pol.ActivationCost(p, j)
+	}
+
+	// Reverse adjacency over every app (not just representatives).
+	mm.revOff = grow(mm.revOff, m+1)
+	for j := range mm.revOff {
+		mm.revOff[j] = 0
+	}
+	for i := range p.Apps {
+		for _, j := range p.CandidatesOf(i) {
+			mm.revOff[j+1]++
+		}
+	}
+	for j := 0; j < m; j++ {
+		mm.revOff[j+1] += mm.revOff[j]
+	}
+	mm.revApp = grow(mm.revApp, mm.revOff[m])
+	mm.cursor = grow(mm.cursor, m)
+	copy(mm.cursor, mm.revOff[:m])
+	for i := range p.Apps {
+		for _, j := range p.CandidatesOf(i) {
+			mm.revApp[mm.cursor[j]] = i
+			mm.cursor[j]++
+		}
+	}
+
+	mm.buildDemandLists(p)
+
+	if shareable {
+		mm.apps = append(mm.apps[:0], p.Apps...)
+	}
+	mm.p, mm.pol, mm.m = p, pol, m
+	mm.costGen = p.costGen
+	mm.hasStruct = shareable
+}
+
+// buildDemandLists collects, per server, the distinct demand vectors among
+// its statically-feasible adjacent slots (one representative per app
+// class). fitsFlip uses them to decide whether a capacity change on a
+// server can alter any adjacent app's scan.
+func (mm *costMemo) buildDemandLists(p *Problem) {
+	m := len(p.Servers)
+	mm.dOff = grow(mm.dOff, m+1)
+	mm.dLen = grow(mm.dLen, m)
+	mm.dBig = grow(mm.dBig, m)
+	// Count representative slots per server to lay out the value arena
+	// (capped at maxDistinctDemands per server).
+	cnt := mm.cursor // reuse CSR scratch; same length m
+	for j := range cnt {
+		cnt[j] = 0
+	}
+	for i := range p.Apps {
+		if int(mm.rep[i]) != i {
+			continue
+		}
+		for _, j := range p.CandidatesOf(i) {
+			cnt[j]++
+		}
+	}
+	total := 0
+	for j := 0; j < m; j++ {
+		mm.dOff[j] = total
+		w := cnt[j]
+		if w > maxDistinctDemands {
+			w = maxDistinctDemands
+		}
+		total += w
+		mm.dLen[j] = 0
+		mm.dBig[j] = false
+	}
+	mm.dOff[m] = total
+	mm.dVal = grow(mm.dVal, total)
+	for i := range p.Apps {
+		if int(mm.rep[i]) != i {
+			continue
+		}
+		base := mm.off[i]
+		for k, j := range p.CandidatesOf(i) {
+			if !mm.ok[base+k] || mm.dBig[j] {
+				continue
+			}
+			d := p.Demand[i][j]
+			lo, l := mm.dOff[j], int(mm.dLen[j])
+			dup := false
+			for _, e := range mm.dVal[lo : lo+l] {
+				if e == d {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if l >= maxDistinctDemands {
+				mm.dBig[j] = true
+				continue
+			}
+			mm.dVal[lo+l] = d
+			mm.dLen[j]++
+		}
+	}
+}
+
+// fitsFlip reports whether changing server j's free capacity from a to b
+// can change any adjacent app's scan: it does exactly when some adjacent
+// demand class fits one of the two but not the other. When the per-server
+// class list overflowed, every change is conservatively a flip.
+func (mm *costMemo) fitsFlip(j int, a, b cluster.Resources) bool {
+	if mm.dBig[j] {
+		return true
+	}
+	lo := mm.dOff[j]
+	for _, d := range mm.dVal[lo : lo+int(mm.dLen[j])] {
+		if d.Fits(a) != d.Fits(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// slotOf returns j's index within the ascending candidate list, or -1.
+func slotOf(cand []int, j int) int {
+	lo, hi := 0, len(cand)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cand[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cand) && cand[lo] == j {
+		return lo
+	}
+	return -1
+}
+
+// continuation is the converged end state of the last flattened solve on a
+// workspace view. When the next solve arrives on the same view under the
+// same cost generation and policy, every app whose scan inputs are
+// unchanged since that convergence is provably a no-op and starts clean —
+// the solve's cost becomes proportional to what actually changed between
+// batches (churned apps, moved capacity, flipped power states), not to the
+// batch size.
+//
+// Soundness: the previous solve terminated because a scan of every
+// then-dirty app moved nothing, and every then-clean app's inputs were
+// unchanged since its own no-move scan — so the recorded state is a
+// fixpoint: a scan of ANY app against it is a no-op. An app starts clean
+// now only if its identity, its seeded placement, and every scan-visible
+// input on its candidate servers (capacity thresholds via fitsFlip, power
+// states, cost rows via costGen) are unchanged from that fixpoint; its
+// first scan would therefore replay a no-op. Apps whose inputs change
+// mid-solve are marked through the same reverse adjacency as always.
+type continuation struct {
+	valid    bool
+	p        *Problem
+	costGen  uint64
+	pol      Policy
+	apps     []App
+	assigned []int
+	free     []cluster.Resources
+	on       []bool
+	loads    []int
+}
+
 // state tracks remaining capacity and power decisions during the search.
 type state struct {
 	p        *Problem
@@ -50,6 +458,12 @@ type state struct {
 	on       []bool
 	assigned []int // app -> server or -1
 	loads    []int // number of apps per server
+
+	// mark[i] is the last pass app i must still be scanned in: the
+	// dirty-app work queue. An app is skipped in pass p when mark[i] < p,
+	// which is provably a no-op scan (no server in its candidate list
+	// changed in a way its scan can observe since its last scan).
+	mark []int32
 }
 
 // init points the state at a problem, reusing the slices' capacity.
@@ -116,6 +530,34 @@ func (st *state) unplace(i int) {
 	}
 }
 
+// touch marks every app adjacent to server j dirty: later apps still in
+// this pass, earlier ones (and i itself) in the next. Pass i = -1 to mark
+// everything for the given pass.
+func (st *state) touch(mm *costMemo, j, i int, pass int32) {
+	for _, k := range mm.revApp[mm.revOff[j]:mm.revOff[j+1]] {
+		next := pass
+		if k <= i {
+			next = pass + 1
+		}
+		if st.mark[k] < next {
+			st.mark[k] = next
+		}
+	}
+}
+
+// touchMoved is touch filtered by observability: after app i changed
+// server j's occupancy (before -> st.free[j]), adjacent apps need
+// re-scanning only if the change is visible to a scan — some demand
+// class's capacity-fit flipped, or the server's activation state can
+// enter cost and credit terms (servers that start powered off). Servers
+// that were powered on before the batch stay on for the whole solve, so
+// pure capacity shifts that flip no fit threshold are invisible.
+func (st *state) touchMoved(mm *costMemo, j, i int, pass int32, before cluster.Resources) {
+	if !st.p.Servers[j].PoweredOn || mm.fitsFlip(j, before, st.free[j]) {
+		st.touch(mm, j, i, pass)
+	}
+}
+
 // Solve runs greedy construction + local search. Problems carrying
 // candidate shortlists (the Workspace path) are scanned over the
 // shortlists only; the assignment is identical to the dense scan because
@@ -134,7 +576,9 @@ func (s *HeuristicSolver) Solve(p *Problem, pol Policy) (*Assignment, error) {
 // re-placed, then the same local search runs to convergence. Cost is a
 // local optimum either way, but converging from a near-solution is much
 // cheaper than constructing from scratch when little has changed between
-// epochs. Only warm.ServerOf is read; power states are re-derived.
+// epochs. Only warm.ServerOf is read; power states are re-derived. Stale
+// warm entries — indices past the current fleet, or servers the app can no
+// longer run on — are skipped, not errors.
 func (s *HeuristicSolver) SolveWarm(p *Problem, pol Policy, warm *Assignment) (*Assignment, error) {
 	a := &Assignment{}
 	if err := s.SolveInto(a, p, pol, warm); err != nil {
@@ -151,14 +595,22 @@ func (s *HeuristicSolver) SolveInto(dst *Assignment, p *Problem, pol Policy, war
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	clear(s.ids)
-	clear(s.sid)
-	if s.ids == nil {
-		s.ids = make(map[string]bool, len(p.Apps))
-		s.sid = make(map[string]bool, len(p.Servers))
+	if !s.SkipValidate {
+		if s.ids == nil {
+			s.ids = make(map[string]bool, len(p.Apps))
+			s.sid = make(map[string]bool, len(p.Servers))
+		} else {
+			clear(s.ids)
+			clear(s.sid)
+		}
+		if err := p.validateWith(s.ids, s.sid); err != nil {
+			return err
+		}
 	}
-	if err := p.validateWith(s.ids, s.sid); err != nil {
-		return err
+	flat := s.Search != SearchSweep
+	mm := &s.memo
+	if flat {
+		mm.prepare(p, pol)
 	}
 	st := &s.st
 	st.init(p, pol)
@@ -172,33 +624,141 @@ func (s *HeuristicSolver) SolveInto(dst *Assignment, p *Problem, pol Policy, war
 			}
 		}
 	} else {
-		// Construction: place the most constrained apps first (fewest
-		// feasible servers), each on its cheapest feasible server. This is
-		// the classic most-constrained-variable heuristic and avoids
-		// painting flexible apps into constrained servers.
-		s.order = grow(s.order, len(p.Apps))
-		s.options = grow(s.options, len(p.Apps))
-		order, options := s.order, s.options
-		for i := range order {
-			order[i] = i
-			options[i] = p.countFeasible(i)
-		}
-		// Stable insertion sort by option count: stable sorts produce a
-		// unique permutation, so this matches the previous
-		// sort.SliceStable byte for byte without its closure allocation.
-		for a := 1; a < len(order); a++ {
-			v := order[a]
-			k := options[v]
-			b := a - 1
-			for b >= 0 && options[order[b]] > k {
-				order[b+1] = order[b]
-				b--
-			}
-			order[b+1] = v
-		}
+		s.construct(st, mm, flat)
+	}
 
-		for _, i := range order {
-			best, bestCost := -1, math.Inf(1)
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	if flat {
+		s.initMarks(st, mm, p, pol)
+		converged := s.localSearchFlat(st, mm, maxPasses)
+		s.recordContinuation(st, mm, p, pol, converged)
+	} else {
+		s.localSearchSweep(st, maxPasses)
+	}
+
+	dst.ServerOf = append(dst.ServerOf[:0], st.assigned...)
+	dst.PowerOn = append(dst.PowerOn[:0], st.on...)
+	dst.Unplaced = dst.Unplaced[:0]
+	for i, j := range st.assigned {
+		if j < 0 {
+			dst.Unplaced = append(dst.Unplaced, i)
+		}
+	}
+	if len(dst.Unplaced) == 0 {
+		dst.Unplaced = nil
+	}
+	return nil
+}
+
+// initMarks seeds the dirty-app queue for a flattened solve: everything
+// dirty by default, or — when the last converged solve on this view still
+// applies — only what changed since that fixpoint.
+func (s *HeuristicSolver) initMarks(st *state, mm *costMemo, p *Problem, pol Policy) {
+	n := len(p.Apps)
+	st.mark = grow(st.mark, n)
+	c := &s.cont
+	if !(c.valid && mm.hasStruct && c.p == p && p.costGen != 0 &&
+		c.costGen == p.costGen && samePolicy(c.pol, pol) &&
+		len(c.apps) == n && len(c.free) == len(p.Servers)) {
+		for i := range st.mark {
+			st.mark[i] = 0
+		}
+		return
+	}
+	for i := range st.mark {
+		st.mark[i] = -1
+	}
+	// An app restarts dirty if it is not the app that converged at this
+	// position, or it no longer sits where the fixpoint left it.
+	for i := range p.Apps {
+		if p.Apps[i] != c.apps[i] || st.assigned[i] != c.assigned[i] {
+			st.mark[i] = 0
+		}
+	}
+	// A server re-dirties its adjacent apps only if it changed in a
+	// scan-visible way since the fixpoint: a capacity-fit threshold
+	// flipped, or it participates in activation cost/credit terms
+	// (servers starting powered off) and anything about it moved. Cost
+	// changes are excluded by costGen equality above.
+	for j := range p.Servers {
+		if st.free[j] == c.free[j] && st.on[j] == c.on[j] && st.loads[j] == c.loads[j] {
+			continue
+		}
+		if !p.Servers[j].PoweredOn || mm.fitsFlip(j, c.free[j], st.free[j]) {
+			st.touch(mm, j, -1, 0)
+		}
+	}
+	for i := range st.mark {
+		if st.mark[i] >= 0 {
+		}
+	}
+}
+
+// recordContinuation snapshots the converged state for the next solve.
+// Only cleanly-converged flattened solves on workspace views qualify: a
+// pass-capped exit is not a fixpoint, and dense problems can mutate
+// without any generation moving.
+func (s *HeuristicSolver) recordContinuation(st *state, mm *costMemo, p *Problem, pol Policy, converged bool) {
+	c := &s.cont
+	c.valid = converged && mm.hasStruct && p.costGen != 0
+	if !c.valid {
+		return
+	}
+	c.p, c.costGen, c.pol = p, p.costGen, pol
+	c.apps = append(c.apps[:0], p.Apps...)
+	c.assigned = append(c.assigned[:0], st.assigned...)
+	c.free = append(c.free[:0], st.free...)
+	c.on = append(c.on[:0], st.on...)
+	c.loads = append(c.loads[:0], st.loads...)
+}
+
+// construct runs greedy construction: place the most constrained apps
+// first (fewest feasible servers), each on its cheapest feasible server.
+// This is the classic most-constrained-variable heuristic and avoids
+// painting flexible apps into constrained servers.
+func (s *HeuristicSolver) construct(st *state, mm *costMemo, flat bool) {
+	p := st.p
+	s.order = grow(s.order, len(p.Apps))
+	s.options = grow(s.options, len(p.Apps))
+	order, options := s.order, s.options
+	for i := range order {
+		order[i] = i
+		options[i] = p.countFeasible(i)
+	}
+	// Stable insertion sort by option count: stable sorts produce a
+	// unique permutation, so this matches the previous
+	// sort.SliceStable byte for byte without its closure allocation.
+	for a := 1; a < len(order); a++ {
+		v := order[a]
+		k := options[v]
+		b := a - 1
+		for b >= 0 && options[order[b]] > k {
+			order[b+1] = order[b]
+			b--
+		}
+		order[b+1] = v
+	}
+
+	for _, i := range order {
+		best, bestCost := -1, math.Inf(1)
+		if flat {
+			base := mm.off[i]
+			for k, j := range p.CandidatesOf(i) {
+				if !mm.ok[base+k] || !p.Demand[i][j].Fits(st.free[j]) {
+					continue
+				}
+				c := mm.row[base+k]
+				if !st.on[j] {
+					c += mm.act[j]
+				}
+				if c < bestCost {
+					best, bestCost = j, c
+				}
+			}
+		} else {
 			for _, j := range p.CandidatesOf(i) {
 				if !st.canPlace(i, j) {
 					continue
@@ -207,17 +767,17 @@ func (s *HeuristicSolver) SolveInto(dst *Assignment, p *Problem, pol Policy, war
 					best, bestCost = j, c
 				}
 			}
-			if best >= 0 {
-				st.place(i, best)
-			}
+		}
+		if best >= 0 {
+			st.place(i, best)
 		}
 	}
+}
 
-	// Local search: steepest descent over single-app relocations.
-	maxPasses := s.MaxPasses
-	if maxPasses <= 0 {
-		maxPasses = 8
-	}
+// localSearchSweep is the reference steepest-descent loop: every pass
+// re-scans every app and derives pair costs through the Policy interface.
+func (s *HeuristicSolver) localSearchSweep(st *state, maxPasses int) {
+	p := st.p
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for i := range p.Apps {
@@ -233,8 +793,12 @@ func (s *HeuristicSolver) SolveInto(dst *Assignment, p *Problem, pol Policy, war
 				}
 				continue
 			}
+			// Scan without unplacing: the candidate loop excludes cur, so
+			// no candidate's feasibility or cost depends on i's own slot,
+			// and a no-move scan leaves the capacity vectors bit-exact
+			// (an unplace/place round trip would not: (a+d)-d need not
+			// equal a in floating point).
 			curCost := st.moveAwareCost(i, cur)
-			st.unplace(i)
 			best, bestCost := cur, curCost
 			for _, j := range p.CandidatesOf(i) {
 				if j == cur || !st.canPlace(i, j) {
@@ -244,8 +808,9 @@ func (s *HeuristicSolver) SolveInto(dst *Assignment, p *Problem, pol Policy, war
 					best, bestCost = j, c
 				}
 			}
-			st.place(i, best)
 			if best != cur {
+				st.unplace(i)
+				st.place(i, best)
 				improved = true
 			}
 		}
@@ -253,19 +818,85 @@ func (s *HeuristicSolver) SolveInto(dst *Assignment, p *Problem, pol Policy, war
 			break
 		}
 	}
+}
 
-	dst.ServerOf = append(dst.ServerOf[:0], st.assigned...)
-	dst.PowerOn = append(dst.PowerOn[:0], st.on...)
-	dst.Unplaced = dst.Unplaced[:0]
-	for i, j := range st.assigned {
-		if j < 0 {
-			dst.Unplaced = append(dst.Unplaced, i)
+// localSearchFlat is the flattened steepest-descent loop: pair costs come
+// from the memoized rows, and the dirty-app work queue skips every app
+// whose candidate servers are untouched (in any scan-visible way) since
+// its last scan. The move sequence is identical to localSearchSweep's: a
+// skipped scan is one whose inputs — the fit thresholds, activation
+// states, and cost rows over the app's candidate list, and the app's own
+// placement — are unchanged since a scan that moved nothing. Returns
+// whether the search converged (a full pass moved nothing) rather than
+// exhausting its pass budget.
+func (s *HeuristicSolver) localSearchFlat(st *state, mm *costMemo, maxPasses int) bool {
+	p := st.p
+	n := len(p.Apps)
+	for pass := 0; pass < maxPasses; pass++ {
+		p32 := int32(pass)
+		improved := false
+		for i := 0; i < n; i++ {
+			if st.mark[i] < p32 {
+				continue
+			}
+			cand := p.CandidatesOf(i)
+			base := mm.off[i]
+			cur := st.assigned[i]
+			if cur < 0 {
+				for k, j := range cand {
+					if mm.ok[base+k] && p.Demand[i][j].Fits(st.free[j]) {
+						before := st.free[j]
+						st.place(i, j)
+						// The retry took the first feasible server, not
+						// the cheapest: the next pass must re-scan i.
+						if st.mark[i] <= p32 {
+							st.mark[i] = p32 + 1
+						}
+						st.touchMoved(mm, j, i, p32, before)
+						improved = true
+						break
+					}
+				}
+				continue
+			}
+			var curCost float64
+			if slot := slotOf(cand, cur); slot >= 0 {
+				curCost = mm.row[base+slot]
+			} else {
+				// cur outside the candidate list (possible only for
+				// hand-built problems seeding warm placements there).
+				curCost = st.pol.PairCost(p, i, cur)
+			}
+			if !p.Servers[cur].PoweredOn && st.loads[cur] == 1 {
+				curCost += mm.act[cur]
+			}
+			best, bestCost := cur, curCost
+			for k, j := range cand {
+				if j == cur || !mm.ok[base+k] || !p.Demand[i][j].Fits(st.free[j]) {
+					continue
+				}
+				c := mm.row[base+k]
+				if !st.on[j] {
+					c += mm.act[j]
+				}
+				if c < bestCost-1e-12 {
+					best, bestCost = j, c
+				}
+			}
+			if best != cur {
+				beforeCur, beforeBest := st.free[cur], st.free[best]
+				st.unplace(i)
+				st.place(i, best)
+				st.touchMoved(mm, cur, i, p32, beforeCur)
+				st.touchMoved(mm, best, i, p32, beforeBest)
+				improved = true
+			}
+		}
+		if !improved {
+			return true
 		}
 	}
-	if len(dst.Unplaced) == 0 {
-		dst.Unplaced = nil
-	}
-	return nil
+	return false
 }
 
 // moveAwareCost is app i's current cost on server j, crediting the

@@ -1,0 +1,244 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSolverSearchModesEquivalent is the core flattening property on
+// dense problems at a size where local search genuinely iterates: the
+// flattened search (memoized cost rows + dirty-app work queue) must
+// reproduce the reference sweep bit for bit, cold and warm, under every
+// policy.
+func TestSolverSearchModesEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		inst := randomWSInstance(rng, 10+rng.Intn(30), 5+rng.Intn(20))
+		p, err := Build(inst.apps, inst.servers, inst.rtt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range allPolicies() {
+			sweep := &HeuristicSolver{Search: SearchSweep}
+			flat := &HeuristicSolver{Search: SearchFlat}
+			auto := NewHeuristicSolver()
+
+			aSweep, err := sweep.Solve(p, pol)
+			if err != nil {
+				t.Fatalf("trial %d %s sweep: %v", trial, pol.Name(), err)
+			}
+			aFlat, err := flat.Solve(p, pol)
+			if err != nil {
+				t.Fatalf("trial %d %s flat: %v", trial, pol.Name(), err)
+			}
+			aAuto, err := auto.Solve(p, pol)
+			if err != nil {
+				t.Fatalf("trial %d %s auto: %v", trial, pol.Name(), err)
+			}
+			if !reflect.DeepEqual(aSweep, aFlat) || !reflect.DeepEqual(aSweep, aAuto) {
+				t.Fatalf("trial %d %s: cold assignments diverged across search modes:\nsweep: %+v\nflat:  %+v\nauto:  %+v",
+					trial, pol.Name(), aSweep, aFlat, aAuto)
+			}
+			if err := p.CheckFeasible(aFlat); err != nil {
+				t.Fatalf("trial %d %s: flat assignment infeasible: %v", trial, pol.Name(), err)
+			}
+
+			// Warm from a rotated seed (stale entries included).
+			seed := &Assignment{ServerOf: append([]int(nil), aSweep.ServerOf...)}
+			for i, j := range seed.ServerOf {
+				if j >= 0 {
+					seed.ServerOf[i] = (j + 1) % len(p.Servers)
+				}
+			}
+			wSweep, err := sweep.SolveWarm(p, pol, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wFlat, err := flat.SolveWarm(p, pol, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wSweep, wFlat) {
+				t.Fatalf("trial %d %s: warm assignments diverged across search modes:\nsweep: %+v\nflat:  %+v",
+					trial, pol.Name(), wSweep, wFlat)
+			}
+		}
+	}
+}
+
+// TestSolveWarmStaleAssignments: warm.ServerOf entries pointing at
+// out-of-range or now-incompatible servers must be skipped, not panic —
+// over shrunk and grown fleets, for both backends and both search modes.
+func TestSolveWarmStaleAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	base := randomWSInstance(rng, 6, 8)
+	full, err := Build(base.apps, base.servers, base.rtt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := NewHeuristicSolver().Solve(full, CarbonAware{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An assignment whose every entry lands on an incompatible server:
+	// apps are forced onto a fleet of one device class they cannot run on
+	// by construction below.
+	cases := []struct {
+		name    string
+		servers []Server
+		warm    *Assignment
+	}{
+		{
+			// Fleet shrunk after the previous epoch: high indices dangle.
+			name:    "shrunk fleet",
+			servers: base.servers[:3],
+			warm:    prev,
+		},
+		{
+			// Fleet grown: previous indices are valid but the warm slice
+			// is shorter than nothing — same length apps, larger fleet.
+			name:    "grown fleet",
+			servers: append(append([]Server(nil), base.servers...), randomWSInstance(rng, 0, 4).servers...),
+			warm:    prev,
+		},
+		{
+			name:    "negative and far out-of-range entries",
+			servers: base.servers,
+			warm:    &Assignment{ServerOf: []int{-1, 999, 7, -5, 1 << 30, 2}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Deduplicate server IDs for the grown fleet case.
+			seen := map[string]int{}
+			for j := range tc.servers {
+				if n := seen[tc.servers[j].ID]; n > 0 {
+					tc.servers[j].ID = fmt.Sprintf("%s-g%d", tc.servers[j].ID, n)
+				}
+				seen[tc.servers[j].ID]++
+			}
+			p, err := Build(base.apps, tc.servers, base.rtt, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []*Assignment
+			for _, s := range []WarmSolver{
+				&HeuristicSolver{Search: SearchSweep},
+				&HeuristicSolver{Search: SearchFlat},
+			} {
+				a, err := s.SolveWarm(p, CarbonAware{}, tc.warm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.CheckFeasible(a); err != nil {
+					t.Fatalf("stale warm produced infeasible assignment: %v", err)
+				}
+				got = append(got, a)
+			}
+			if !reflect.DeepEqual(got[0], got[1]) {
+				t.Fatalf("stale warm diverged across search modes:\nsweep: %+v\nflat:  %+v", got[0], got[1])
+			}
+			// The exact backend screens the same stale point as a
+			// candidate incumbent; it must survive and stay optimal.
+			ea, err := NewExactSolver().SolveWarm(p, CarbonAware{}, tc.warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.CheckFeasible(ea); err != nil {
+				t.Fatalf("exact stale warm infeasible: %v", err)
+			}
+		})
+	}
+
+	// Now-incompatible: the warm assignment points at servers that can no
+	// longer serve the apps — SLOs tightened below the fixture's 2 ms RTT
+	// floor, so every previously-valid (app, server) pair fails the
+	// latency gate and must be skipped.
+	t.Run("incompatible servers", func(t *testing.T) {
+		apps := append([]App(nil), base.apps...)
+		for i := range apps {
+			apps[i].SLOms = 0.5
+		}
+		p, err := Build(apps, base.servers, base.rtt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []WarmSolver{
+			&HeuristicSolver{Search: SearchSweep},
+			&HeuristicSolver{Search: SearchFlat},
+		} {
+			a, err := s.SolveWarm(p, CarbonAware{}, prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Unplaced) != len(apps) {
+				t.Fatalf("expected every app unplaced on incompatible fleet, got %d unplaced", len(a.Unplaced))
+			}
+		}
+	})
+}
+
+// TestSolverReusesValidationMaps is the regression test for the lazy-init
+// bug where SolveInto allocated s.ids/s.sid after clearing them: two
+// solves on one solver must reuse the same maps, and a steady-state solve
+// (validation on, reused destination) must not allocate at all.
+func TestSolverReusesValidationMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	inst := randomWSInstance(rng, 12, 10)
+	p, err := Build(inst.apps, inst.servers, inst.rtt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewHeuristicSolver()
+	var dst Assignment
+	if err := s.SolveInto(&dst, p, CarbonAware{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ids0 := reflect.ValueOf(s.ids).Pointer()
+	sid0 := reflect.ValueOf(s.sid).Pointer()
+	if err := s.SolveInto(&dst, p, CarbonAware{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(s.ids).Pointer() != ids0 || reflect.ValueOf(s.sid).Pointer() != sid0 {
+		t.Fatal("second solve rebuilt the validation maps instead of reusing them")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.SolveInto(&dst, p, CarbonAware{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state solve allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSolverSkipValidate: the trusted fast path must skip the structural
+// checks (a malformed problem sails through), while the default posture
+// still rejects it.
+func TestSolverSkipValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	inst := randomWSInstance(rng, 4, 5)
+	p, err := Build(inst.apps, inst.servers, inst.rtt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Apps[1].ID = p.Apps[0].ID // duplicate ID: structurally invalid
+	if _, err := NewHeuristicSolver().Solve(p, CarbonAware{}); err == nil {
+		t.Fatal("duplicate app ID accepted with validation on")
+	}
+	if _, err := (&ExactSolver{Options: NewExactSolver().Options}).Solve(p, CarbonAware{}); err == nil {
+		t.Fatal("exact: duplicate app ID accepted with validation on")
+	}
+	trusted := &HeuristicSolver{SkipValidate: true}
+	if _, err := trusted.Solve(p, CarbonAware{}); err != nil {
+		t.Fatalf("trusted solve rejected problem: %v", err)
+	}
+	te := NewExactSolver()
+	te.SkipValidate = true
+	if _, err := te.Solve(p, CarbonAware{}); err != nil {
+		t.Fatalf("trusted exact solve rejected problem: %v", err)
+	}
+}

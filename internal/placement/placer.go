@@ -92,18 +92,24 @@ func (pl *Placer) place(p *Problem, warm *Assignment) (*Result, error) {
 		limit = 220
 	}
 
+	// The problem was validated above, once, at this entry point: the
+	// default backends are told to trust it instead of re-deriving the
+	// ID/shape maps per solve. Caller-supplied backends keep whatever
+	// validation posture they were configured with.
 	var solver Solver
 	backend := "heuristic"
 	if pairs <= limit {
 		backend = "exact"
 		solver = pl.Exact
 		if solver == nil {
-			solver = NewExactSolver()
+			e := NewExactSolver()
+			e.SkipValidate = true
+			solver = e
 		}
 	} else {
 		solver = pl.Heuristic
 		if solver == nil {
-			solver = NewHeuristicSolver()
+			solver = &HeuristicSolver{SkipValidate: true}
 		}
 	}
 
@@ -123,9 +129,9 @@ func (pl *Placer) place(p *Problem, warm *Assignment) (*Result, error) {
 		// fallback solve on its own so SolveTime reflects the backend
 		// that actually produced the assignment.
 		backend = "heuristic-fallback"
-		h := pl.Heuristic
+		var h Solver = pl.Heuristic
 		if h == nil {
-			h = NewHeuristicSolver()
+			h = &HeuristicSolver{SkipValidate: true}
 		}
 		t1 := time.Now()
 		a, err = run(h)

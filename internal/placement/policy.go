@@ -17,6 +17,25 @@ type Policy interface {
 	ActivationCost(p *Problem, j int) float64
 }
 
+// CoefficientPolicy marks policies whose costs are pure functions of the
+// pair's precomputed coefficients: PairCost(p, i, j) may read only
+// Demand[i][j], PowerW[i][j], LatencyMs[i][j], and Servers[j], and
+// ActivationCost(p, j) only Servers[j]. In particular the cost of a pair
+// must not depend on the app's identity or on the rest of the batch.
+//
+// The flattened solver uses the marker twice: memoized cost rows are
+// shared across apps of the same (source, SLO, model, rate) class, and a
+// converged solve can carry over to the next one on the same workspace
+// view when the workspace's cost inputs are unchanged (Workspace.costGen).
+// CarbonEnergyBlend deliberately does not implement it — its min-max
+// normalization makes every pair cost depend on the whole batch.
+type CoefficientPolicy interface {
+	Policy
+	// CoefficientCosts is a marker; implementations promise the contract
+	// above.
+	CoefficientCosts()
+}
+
 // CarbonAware is the CarbonEdge policy: minimize carbon emissions (Eq. 6).
 // Pair cost is dynamic power x zone intensity; activation cost is base
 // power x zone intensity.
@@ -35,6 +54,10 @@ func (CarbonAware) ActivationCost(p *Problem, j int) float64 {
 	return p.Servers[j].BasePowerW / 1000 * p.Servers[j].Intensity
 }
 
+// CoefficientCosts implements CoefficientPolicy: costs read only
+// PowerW[i][j] and Servers[j].
+func (CarbonAware) CoefficientCosts() {}
+
 // LatencyAware is the baseline that places each app on the nearest
 // feasible server (§6.1.3 baseline 1), the strategy edge platforms
 // commonly use. Activation is free: proximity dominates.
@@ -49,6 +72,10 @@ func (LatencyAware) PairCost(p *Problem, i, j int) float64 { return p.LatencyMs[
 // ActivationCost implements Policy.
 func (LatencyAware) ActivationCost(p *Problem, j int) float64 { return 0 }
 
+// CoefficientCosts implements CoefficientPolicy: costs read only
+// LatencyMs[i][j].
+func (LatencyAware) CoefficientCosts() {}
+
 // EnergyAware minimizes energy consumption subject to the same constraints
 // (§6.1.3 baseline 2).
 type EnergyAware struct{}
@@ -61,6 +88,10 @@ func (EnergyAware) PairCost(p *Problem, i, j int) float64 { return p.PowerW[i][j
 
 // ActivationCost implements Policy.
 func (EnergyAware) ActivationCost(p *Problem, j int) float64 { return p.Servers[j].BasePowerW }
+
+// CoefficientCosts implements CoefficientPolicy: costs read only
+// PowerW[i][j] and Servers[j].
+func (EnergyAware) CoefficientCosts() {}
 
 // IntensityAware greedily prefers the greenest zones (lowest carbon
 // intensity) regardless of how much energy the app consumes there
@@ -76,6 +107,10 @@ func (IntensityAware) PairCost(p *Problem, i, j int) float64 { return p.Servers[
 // ActivationCost implements Policy: activation is not penalized; the
 // greedy baseline chases green zones.
 func (IntensityAware) ActivationCost(p *Problem, j int) float64 { return 0 }
+
+// CoefficientCosts implements CoefficientPolicy: costs read only
+// Servers[j].
+func (IntensityAware) CoefficientCosts() {}
 
 // CarbonEnergyBlend is the multi-objective extension of Eq. 8:
 // alpha * energy + (1-alpha) * carbon, with both terms min-max normalized

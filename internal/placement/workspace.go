@@ -74,6 +74,15 @@ type Workspace struct {
 	viewGen    uint64
 	candBuf    [][]int
 	serversBuf []Server
+
+	// costGen advances whenever a server-side cost input changes:
+	// intensity ticks, power-state overrides, commits (power-on), fleet
+	// growth. Problem views are stamped with it so the solver can tell
+	// "same world, new batch" (cost rows and converged state still apply)
+	// from "the world's costs moved" (rebuild). Free-capacity-only changes
+	// (ReleaseApp) do not advance it — the solver re-derives capacity from
+	// the view every solve and detects those directly.
+	costGen uint64
 }
 
 // scratchArena holds the reusable matrix backing for Problem views.
@@ -180,6 +189,7 @@ func NewWorkspace(servers []Server, rtt RTTFunc, profile func(model, device stri
 		latOK:     map[latKey]*idxSpan{},
 		cands:     map[candKey]*idxSpan{},
 		committed: map[string]commitRec{},
+		costGen:   1, // non-zero from birth: zero means "no workspace"
 	}, nil
 }
 
@@ -205,6 +215,7 @@ func (ws *Workspace) AddServers(servers ...Server) error {
 			}
 		}
 		ws.servers = append(ws.servers, s)
+		ws.costGen++
 	}
 	return nil
 }
@@ -213,7 +224,10 @@ func (ws *Workspace) AddServers(servers ...Server) error {
 // carbon-clock tick). Shortlists are intensity-independent, so this is
 // O(1).
 func (ws *Workspace) UpdateIntensity(j int, intensity float64) {
-	ws.servers[j].Intensity = intensity
+	if ws.servers[j].Intensity != intensity {
+		ws.servers[j].Intensity = intensity
+		ws.costGen++
+	}
 }
 
 // SetServerState overwrites server j's free capacity and power state.
@@ -223,6 +237,7 @@ func (ws *Workspace) UpdateIntensity(j int, intensity float64) {
 func (ws *Workspace) SetServerState(j int, free cluster.Resources, poweredOn bool) {
 	ws.servers[j].Free = free
 	ws.servers[j].PoweredOn = poweredOn
+	ws.costGen++
 }
 
 // CommitAssignment applies a solved batch to the workspace: hosting
@@ -263,6 +278,9 @@ func (ws *Workspace) CommitAssignment(p *Problem, a *Assignment) error {
 			ws.servers[j].PoweredOn = true
 		}
 	}
+	// Power states may have flipped (a cost input the solver reads
+	// directly); capacity changes alone would not need a bump.
+	ws.costGen++
 	return nil
 }
 
@@ -475,6 +493,7 @@ func (ws *Workspace) scratchProblem(apps []App) *Problem {
 		LatencyMs:  sc.rowsL[:n],
 		Compatible: sc.rowsC[:n],
 		gen:        ws.viewGen,
+		costGen:    ws.costGen,
 	}
 	return &ws.view
 }

@@ -132,7 +132,13 @@ func TestWorkspaceProblemMatchesBuild(t *testing.T) {
 // TestWorkspaceIncrementalEquivalence is the multi-epoch property from
 // the issue: N epochs of workspace-incremental placement — commit,
 // intensity updates, re-solve — produce assignments and metrics
-// byte-identical to rebuilding the dense problem from scratch each epoch.
+// byte-identical to rebuilding the dense problem from scratch each epoch,
+// across the full {dense, shortlist} × {sweep, dirty-queue} × {cold, warm}
+// matrix. The dense sweep (full per-app re-scan, live policy costs) is the
+// reference; the flattened search (memoized cost rows + dirty-app work
+// queue) must reproduce it bit for bit on both problem forms. Solvers
+// persist across epochs so the flattened path's generation-keyed memo is
+// exercised against a workspace view that is reassembled in place.
 func TestWorkspaceIncrementalEquivalence(t *testing.T) {
 	for _, pol := range allPolicies() {
 		pol := pol
@@ -145,7 +151,17 @@ func TestWorkspaceIncrementalEquivalence(t *testing.T) {
 			}
 			// The rebuild path tracks server state by hand.
 			servers := append([]Server(nil), inst.servers...)
-			solver := NewHeuristicSolver()
+			type variant struct {
+				name   string
+				sparse bool
+				solver *HeuristicSolver
+			}
+			ref := variant{"dense/sweep", false, &HeuristicSolver{Search: SearchSweep}}
+			variants := []variant{
+				{"dense/flat", false, &HeuristicSolver{Search: SearchFlat}},
+				{"ws/sweep", true, &HeuristicSolver{Search: SearchSweep}},
+				{"ws/flat", true, &HeuristicSolver{Search: SearchFlat}},
+			}
 			const epochs = 6
 			for epoch := 0; epoch < epochs; epoch++ {
 				// Carbon clock tick: fresh intensities on both paths.
@@ -163,32 +179,65 @@ func TestWorkspaceIncrementalEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				aDense, err := solver.Solve(dense, pol)
-				if err != nil {
-					t.Fatal(err)
-				}
-
 				sparse, err := ws.Problem(batch)
 				if err != nil {
 					t.Fatal(err)
 				}
-				aWS, err := solver.Solve(sparse, pol)
+				problemOf := func(v variant) *Problem {
+					if v.sparse {
+						return sparse
+					}
+					return dense
+				}
+
+				aRef, err := ref.solver.Solve(problemOf(ref), pol)
 				if err != nil {
 					t.Fatal(err)
 				}
-
-				if !reflect.DeepEqual(aDense, aWS) {
-					t.Fatalf("epoch %d: assignments diverged:\ndense: %+v\nws:    %+v", epoch, aDense, aWS)
+				for _, v := range variants {
+					got, err := v.solver.Solve(problemOf(v), pol)
+					if err != nil {
+						t.Fatalf("epoch %d %s cold: %v", epoch, v.name, err)
+					}
+					if !reflect.DeepEqual(aRef, got) {
+						t.Fatalf("epoch %d: %s cold assignment diverged from dense sweep:\nref: %+v\ngot: %+v", epoch, v.name, aRef, got)
+					}
 				}
-				if md, mw := dense.Evaluate(aDense), sparse.Evaluate(aWS); md != mw {
+				if md, mw := dense.Evaluate(aRef), sparse.Evaluate(aRef); md != mw {
 					t.Fatalf("epoch %d: metrics diverged: %+v != %+v", epoch, md, mw)
 				}
 
-				// Commit on both paths.
-				if err := ws.CommitAssignment(sparse, aWS); err != nil {
+				// Warm starts must agree across the same matrix (this
+				// re-solves the identical view back to back, exercising the
+				// flat path's memo hit). A converged solution is a fixpoint,
+				// so seed from a rotated copy instead: every entry points
+				// one server over — some stale, some feasible — which makes
+				// the warm local search actually move things.
+				seed := &Assignment{ServerOf: append([]int(nil), aRef.ServerOf...)}
+				for i, j := range seed.ServerOf {
+					if j >= 0 {
+						seed.ServerOf[i] = (j + 1) % len(servers)
+					}
+				}
+				wRef, err := ref.solver.SolveWarm(problemOf(ref), pol, seed)
+				if err != nil {
 					t.Fatal(err)
 				}
-				for i, j := range aDense.ServerOf {
+				for _, v := range variants {
+					got, err := v.solver.SolveWarm(problemOf(v), pol, seed)
+					if err != nil {
+						t.Fatalf("epoch %d %s warm: %v", epoch, v.name, err)
+					}
+					if !reflect.DeepEqual(wRef, got) {
+						t.Fatalf("epoch %d: %s warm assignment diverged from dense sweep:\nref: %+v\ngot: %+v", epoch, v.name, wRef, got)
+					}
+				}
+
+				// Commit on both paths.
+				if err := ws.CommitAssignment(sparse, aRef); err != nil {
+					t.Fatal(err)
+				}
+				for i, j := range aRef.ServerOf {
 					if j < 0 {
 						continue
 					}
@@ -532,5 +581,65 @@ func TestWorkspaceMemoBounded(t *testing.T) {
 	if len(ws.classes) > maxMemoEntries || len(ws.cands) > maxMemoEntries || len(ws.latOK) > maxMemoEntries {
 		t.Fatalf("memo tables exceed cap: classes=%d cands=%d latOK=%d (cap %d)",
 			len(ws.classes), len(ws.cands), len(ws.latOK), maxMemoEntries)
+	}
+}
+
+// TestWorkspaceChurnRoundsEquivalence drives one long-lived flat solver
+// and one sweep solver through many warm re-solve rounds on a shared
+// workspace — app churn every round, intensity ticks and power toggles
+// now and then — and requires byte-identical assignments throughout.
+// This is the steady-state regime where the flat solver's memoized rows
+// and converged-state continuation actually engage, so it pins down the
+// cross-solve carry-over logic, not just single-solve equivalence.
+func TestWorkspaceChurnRoundsEquivalence(t *testing.T) {
+	for _, pol := range allPolicies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			const nApps, nServers = 40, 12
+			inst := randomWSInstance(rng, nApps, nServers)
+			ws, err := NewWorkspace(inst.servers, inst.rtt, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sweep := &HeuristicSolver{Search: SearchSweep}
+			flat := &HeuristicSolver{Search: SearchFlat, SkipValidate: true}
+			apps := append([]App(nil), inst.apps...)
+			var prev *Assignment
+			for round := 0; round < 25; round++ {
+				for c := 0; c < 3; c++ {
+					fresh := randomWSInstance(rng, 1, 0).apps[0]
+					fresh.ID = fmt.Sprintf("churn-%02d-%d", round, c)
+					apps[rng.Intn(nApps)] = fresh
+				}
+				switch {
+				case round%5 == 4: // carbon clock tick
+					for j := 0; j < nServers; j++ {
+						ws.UpdateIntensity(j, 10+rng.Float64()*800)
+					}
+				case round%7 == 3: // operator toggles a server
+					j := rng.Intn(nServers)
+					srv := ws.Servers()[j]
+					ws.SetServerState(j, srv.Free, !srv.PoweredOn)
+				}
+				sparse, err := ws.Problem(apps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aSweep, err := sweep.SolveWarm(sparse, pol, prev)
+				if err != nil {
+					t.Fatalf("round %d sweep: %v", round, err)
+				}
+				aFlat, err := flat.SolveWarm(sparse, pol, prev)
+				if err != nil {
+					t.Fatalf("round %d flat: %v", round, err)
+				}
+				if !reflect.DeepEqual(aSweep, aFlat) {
+					t.Fatalf("round %d: flat diverged from sweep:\nsweep: %+v\nflat:  %+v",
+						round, aSweep, aFlat)
+				}
+				prev = aFlat
+			}
+		})
 	}
 }

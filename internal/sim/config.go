@@ -151,6 +151,17 @@ type Config struct {
 	// (TestTimelineMatchesFixedLoop, BenchmarkTimelineReplay) and does not
 	// support fault scripts.
 	FixedLoop bool
+	// ReferenceSolver routes every placement solve through the
+	// pre-flattening reference path: full structural validation on each
+	// solve and the dense per-app sweep local search, instead of the
+	// trusted fast path (validation skipped for engine-assembled
+	// problems, memoized cost rows, dirty-app work queue). Assignments
+	// are byte-identical either way — the flattened search skips only
+	// provably no-op scans (TestEngineReferenceSolverByteIdentical) — so
+	// like Obs this knob never changes the simulated trajectory and is
+	// excluded from ConfigSig. It exists for equivalence testing and as
+	// the baseline side of BenchmarkWarmSolveChurn.
+	ReferenceSolver bool
 	// Obs, when non-nil, enables observability for the run: the engine
 	// traces every timeline phase (per-phase wall time, call counts,
 	// sampled allocation deltas — Engine.Tracer) and keeps a flight

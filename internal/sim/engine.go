@@ -318,6 +318,15 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 	}
 
 	e.solver = placement.NewHeuristicSolver()
+	if cfg.ReferenceSolver {
+		e.solver.Search = placement.SearchSweep
+	} else {
+		// Engine-assembled problems are trusted: app IDs are generated
+		// unique per batch and the workspace (or Build) guarantees the
+		// matrix shapes and ascending candidate lists, so the per-epoch
+		// hot loop skips the solver's structural re-validation.
+		e.solver.SkipValidate = true
+	}
 	e.res = &Result{
 		PlacementsByCity:  metrics.NewCounter(),
 		MonthlyPlacements: metrics.NewCounter(),

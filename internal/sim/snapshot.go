@@ -218,6 +218,9 @@ func (st ResultState) Restore() (*Result, error) {
 // tracing never changes the trajectory, so a checkpoint taken with
 // observability on restores cleanly into a run with it off (and vice
 // versa), and sweep journals stay valid across obs toggles.
+// ReferenceSolver is excluded for the same reason: both solver paths
+// produce byte-identical assignments, so the knob cannot change a
+// trajectory.
 func ConfigSig(cfg Config) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed=%d region=%v sites=%v forward=%t policy=%T%+v rtt=%g hours=%d start=%d arrivals=%g life=%d",

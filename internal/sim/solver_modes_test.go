@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEngineReferenceSolverByteIdentical locks in that the flattened
+// solver path (validation skipped for engine-assembled problems, memoized
+// cost rows, dirty-app work queue) is pure mechanics: every engine mode
+// produces byte-identical results with Config.ReferenceSolver on (the
+// pre-flattening dense-sweep solver with per-solve validation) and off
+// (the default fast path). This is also why ReferenceSolver is excluded
+// from ConfigSig.
+func TestEngineReferenceSolverByteIdentical(t *testing.T) {
+	w := allocWorld(t)
+	for name, cfg := range allocModes(300) {
+		t.Run(name, func(t *testing.T) {
+			cfg.Hours = 24 * 6
+			fast, err := NewEngine(cfg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := finalState(fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := cfg
+			ref.ReferenceSolver = true
+			slow, err := NewEngine(ref, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := finalState(slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("reference-solver run diverged from flattened-solver run")
+			}
+		})
+	}
+}

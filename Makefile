@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench-guard bench-profile
+.PHONY: all build test race lint bench-smoke bench-guard bench-profile
 
 all: build test
 
@@ -13,17 +13,30 @@ test:
 race:
 	$(GO) test -race ./internal/placement/ ./internal/sim/ ./internal/shard/
 
+# lint runs the full static gate: formatting, the stdlib vet suite
+# (with the two determinism-adjacent passes named explicitly so they
+# can never be configured away), and detlint — the repo's own
+# determinism and hot-path analyzers (see README "Static analysis").
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) vet -copylocks -loopclosure ./...
+	$(GO) run ./cmd/detlint ./...
+
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
 # bench-guard reproduces the CI regression gate locally: the guarded
-# solver benchmarks run three times and the last run is compared against
-# the BENCH_09.json baselines (15% tolerance on machine-independent
-# speedup ratios).
+# solver benchmarks and the carbon memo benchmark run, and their
+# combined output is compared against the BENCH_10.json baselines
+# (15% tolerance on machine-independent speedup ratios).
 bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkWarmSolveChurn|BenchmarkIncrementalPlacement' \
 		-benchtime 3x . | tee /tmp/bench-guard.out
-	$(GO) run ./cmd/benchguard -baseline BENCH_09.json /tmp/bench-guard.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCarbonMixes' \
+		-benchtime 100x ./internal/carbon/ | tee -a /tmp/bench-guard.out
+	$(GO) run ./cmd/benchguard -baseline BENCH_10.json /tmp/bench-guard.out
 
 # bench-profile records CPU and allocation profiles of the two solver
 # hot-path benchmarks and prints the top-10 flat summaries. The

@@ -1,0 +1,74 @@
+// Command detlint runs the repository's determinism and hot-path
+// analyzers over the module and prints findings as
+//
+//	file:line: analyzer: message
+//
+// It exits 0 when the tree is clean, 1 when any finding (including a
+// malformed or stale //detlint: suppression) is reported, and 2 when
+// the packages cannot be loaded or type-checked. CI treats any nonzero
+// exit as a failure.
+//
+// Usage:
+//
+//	detlint [patterns...]
+//
+// Patterns default to ./... relative to the module root, which is
+// located by walking up from the working directory to the nearest
+// go.mod.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	findings := lint.NewSuite(lint.DefaultConfig()).Run(pkgs)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -2,9 +2,9 @@ package carbon
 
 import (
 	"math"
-	"math/rand"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/timeseries"
 )
 
@@ -63,10 +63,18 @@ func (g *Generator) Intensity(z *Zone) *timeseries.Series {
 	return s
 }
 
-// Mixes generates the zone's hourly generation mixes for the whole year.
+// Mixes returns the zone's hourly generation mixes for the whole year.
+// Traces are memoized per (seed, year, zone fingerprint) — see memo.go —
+// so the merit-order simulation runs once per distinct zone and callers
+// get a private copy they may mutate freely.
 func (g *Generator) Mixes(z *Zone) []Mix {
+	return cachedMixes(g, z)
+}
+
+// generate runs the full-year merit-order simulation for one zone.
+func (g *Generator) generate(z *Zone) []Mix {
 	n := g.HoursInYear()
-	rng := rand.New(rand.NewSource(zoneSeed(g.Seed, z.ID)))
+	rng := rng.NewStd(zoneSeed(g.Seed, z.ID))
 	out := make([]Mix, n)
 
 	wind := windProcess{rng: rng, level: 0.3}
@@ -90,7 +98,7 @@ func (g *Generator) Mixes(z *Zone) []Mix {
 
 // demandAt models normalized demand: mean 1.0, double diurnal peak, weekend
 // dip, seasonal swing, and small noise.
-func demandAt(hod, doy int, dow time.Weekday, region Region, rng *rand.Rand) float64 {
+func demandAt(hod, doy int, dow time.Weekday, region Region, rng *rng.Rand) float64 {
 	// Diurnal: trough ~04:00, peaks ~09:00 and ~19:00.
 	diurnal := 0.10*math.Sin(2*math.Pi*float64(hod-7)/24) +
 		0.06*math.Sin(4*math.Pi*float64(hod-1)/24)
@@ -150,7 +158,7 @@ func hydroSeason(doy int) float64 {
 
 // windProcess is a mean-reverting hourly capacity-factor process.
 type windProcess struct {
-	rng   *rand.Rand
+	rng   *rng.Rand
 	level float64
 }
 
@@ -169,7 +177,7 @@ func (w *windProcess) step(doy int) float64 {
 
 // cloudProcess is a persistent cloudiness multiplier in [0.25, 1].
 type cloudProcess struct {
-	rng   *rand.Rand
+	rng   *rng.Rand
 	level float64
 }
 

@@ -3,10 +3,10 @@ package carbon
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/rng"
 )
 
 // Region identifies the broad geography a zone belongs to. The paper's
@@ -309,7 +309,7 @@ func DefaultRegistry(seed int64) (*Registry, error) {
 	}
 	targets := map[Region]int{RegionUS: 54, RegionEurope: 45, RegionOther: 49}
 	for _, reg := range []Region{RegionUS, RegionEurope, RegionOther} {
-		rng := rand.New(rand.NewSource(seed ^ int64(reg)<<32 ^ 0x5eed))
+		rng := rng.NewStd(seed ^ int64(reg)<<32 ^ 0x5eed)
 		box := regionBoxes[reg]
 		for i := counts[reg]; i < targets[reg]; i++ {
 			pool := regionArchetypes[reg]

@@ -83,7 +83,7 @@ func (dc *DataCenter) PowerW() float64 {
 // instance — the "mesoscale edge data centers" of Figure 6.
 type Cluster struct {
 	dcs  []*DataCenter
-	byID map[string]*DataCenter
+	byID map[string]*DataCenter //detlint:ephemeral derived: index over dcs, rebuilt by NewCluster
 }
 
 // NewCluster builds a cluster from data centers. IDs must be unique.

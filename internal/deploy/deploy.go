@@ -12,12 +12,12 @@ package deploy
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/carbon"
 	"repro/internal/geo"
 	"repro/internal/latency"
+	"repro/internal/rng"
 )
 
 // Site is one CDN edge data center after integration.
@@ -73,7 +73,7 @@ func Generate(opt Options, zones *carbon.Registry, cities *latency.CityRegistry)
 	if zones == nil || cities == nil {
 		return nil, fmt.Errorf("deploy: nil registry")
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := rng.NewStd(opt.Seed)
 
 	usCities := latency.USCities()
 	euCities := latency.EuropeCities()

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"time"
 
@@ -10,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/energy"
 	"repro/internal/placement"
+	"repro/internal/rng"
 	"repro/internal/sweep"
 )
 
@@ -42,7 +42,7 @@ type SyntheticInstance struct {
 // per app, so each app is its own workspace class — the worst case for
 // the workspace's memoization.
 func NewSyntheticInstance(nApps, nServers, nCities int, sloMs float64, seed int64) SyntheticInstance {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rng.NewStd(seed)
 	cities := make([]string, nCities)
 	cityIdx := make(map[string]int, nCities)
 	for c := range cities {

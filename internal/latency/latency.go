@@ -14,9 +14,9 @@ package latency
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/geo"
+	"repro/internal/rng"
 )
 
 // Model converts geodesic distance to network latency.
@@ -72,7 +72,7 @@ func (m Model) RTTMs(a, b geo.Point) float64 { return 2 * m.OneWayMs(a, b) }
 
 // SampleOneWayMs returns a jittered one-way latency draw using rng. With
 // JitterStd == 0 it equals OneWayMs.
-func (m Model) SampleOneWayMs(a, b geo.Point, rng *rand.Rand) float64 {
+func (m Model) SampleOneWayMs(a, b geo.Point, rng *rng.Rand) float64 {
 	base := m.OneWayMs(a, b)
 	if m.JitterStd <= 0 || rng == nil {
 		return base

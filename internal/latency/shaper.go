@@ -3,9 +3,10 @@ package latency
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // Shaper emulates network delay between named endpoints, standing in for
@@ -21,7 +22,7 @@ type Shaper struct {
 	// configured delay while Reported delays remain unscaled, keeping
 	// tests fast without distorting measurements.
 	scale float64
-	rng   *rand.Rand
+	rng   *rng.Rand
 	jit   float64
 }
 
@@ -30,7 +31,7 @@ func NewShaper() *Shaper {
 	return &Shaper{
 		delay: make(map[[2]string]time.Duration),
 		scale: 1,
-		rng:   rand.New(rand.NewSource(1)),
+		rng:   rng.NewStd(1),
 	}
 }
 

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// indexedFunc is one function or method declaration with the package
+// that owns it.
+type indexedFunc struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// funcIndex maps type-checked function objects to their declarations
+// across every analyzed package. Because module-internal packages are
+// type-checked exactly once by the shared loader, *types.Func identity
+// holds across package boundaries.
+type funcIndex map[*types.Func]*indexedFunc
+
+func buildFuncIndex(pkgs []*Package) funcIndex {
+	idx := funcIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[obj] = &indexedFunc{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// reachableFrom walks the static call graph from the root functions:
+// any function object referenced in a reachable body — called directly
+// or taken as a function value — whose declaration is in the index
+// becomes reachable. Dynamic dispatch (interface methods, func-typed
+// fields) is not resolved; the hot paths this repo guards are all
+// concrete calls.
+func reachableFrom(roots []*types.Func, idx funcIndex) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var work []*types.Func
+	for _, r := range roots {
+		if idx[r] != nil && !seen[r] {
+			seen[r] = true
+			work = append(work, r)
+		}
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		inf := idx[fn]
+		ast.Inspect(inf.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := inf.pkg.Info.Uses[id].(*types.Func)
+			if !ok || seen[callee] || idx[callee] == nil {
+				return true
+			}
+			seen[callee] = true
+			work = append(work, callee)
+			return true
+		})
+	}
+	return seen
+}

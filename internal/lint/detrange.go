@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detrange flags `range` over a map in deterministic packages: Go map
+// iteration order is randomized, so any order-sensitive loop body makes
+// replay nondeterministic. A loop is allowed without annotation when the
+// body is provably order-insensitive — commutative accumulation (x += v,
+// x++, bitwise-accumulate), keyed stores into another map (distinct keys
+// commute), delete, min/max updates — or when it only collects elements
+// into a slice that the very next statement sorts. Anything else needs
+// the keys sorted first or a //detlint:ordered <reason>.
+type detrange struct{}
+
+func (detrange) Name() string { return "detrange" }
+
+func (detrange) Run(rc *RunContext) {
+	for _, pkg := range rc.Pkgs {
+		if !rc.Cfg.Deterministic(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			// Walk statement lists rather than bare RangeStmts so each
+			// loop can be judged together with its successor statement
+			// (the collect-then-sort idiom).
+			ast.Inspect(f, func(n ast.Node) bool {
+				var list []ast.Stmt
+				switch s := n.(type) {
+				case *ast.BlockStmt:
+					list = s.List
+				case *ast.CaseClause:
+					list = s.Body
+				case *ast.CommClause:
+					list = s.Body
+				default:
+					return true
+				}
+				for i, stmt := range list {
+					if lab, ok := stmt.(*ast.LabeledStmt); ok {
+						stmt = lab.Stmt
+					}
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					t := pkg.Info.TypeOf(rs.X)
+					if t == nil {
+						continue
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						continue
+					}
+					var next ast.Stmt
+					if i+1 < len(list) {
+						next = list[i+1]
+					}
+					if commutativeBody(pkg, rs) || collectThenSort(pkg, rs, next) {
+						continue
+					}
+					rc.Reportf(pkg, TagOrdered, rs.For,
+						"range over map %s iterates in nondeterministic order; sort the keys first, keep the body commutative, or annotate //detlint:ordered <reason>",
+						types.ExprString(rs.X))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectThenSort recognizes the gather-and-sort idiom: the loop body
+// only appends elements to one slice (optionally behind call-free
+// filters), and the statement immediately after the loop sorts that
+// slice — so iteration order cannot reach the result.
+func collectThenSort(pkg *Package, rs *ast.RangeStmt, next ast.Stmt) bool {
+	target := ""
+	var collect func(stmts []ast.Stmt) bool
+	collect = func(stmts []ast.Stmt) bool {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.AssignStmt:
+				if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+					return false
+				}
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+					return false
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					return false
+				}
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+					return false
+				}
+				dst := types.ExprString(s.Lhs[0])
+				if len(call.Args) < 1 || types.ExprString(call.Args[0]) != dst {
+					return false
+				}
+				if target != "" && target != dst {
+					return false
+				}
+				target = dst
+			case *ast.IfStmt:
+				if s.Init != nil || s.Else != nil || containsCall(s.Cond) {
+					return false
+				}
+				if !collect(s.Body.List) {
+					return false
+				}
+			case *ast.BranchStmt:
+				if s.Tok != token.CONTINUE || s.Label != nil {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !collect(rs.Body.List) || target == "" {
+		return false
+	}
+	return sortsTarget(pkg, next, target)
+}
+
+// sortsTarget reports whether the statement is a sort.* or slices.Sort*
+// call whose first argument is the collected slice.
+func sortsTarget(pkg *Package, stmt ast.Stmt, target string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	return len(call.Args) >= 1 && types.ExprString(call.Args[0]) == target
+}
+
+// commutativeBody reports whether every statement of the range body is
+// order-insensitive.
+func commutativeBody(pkg *Package, rs *ast.RangeStmt) bool {
+	keyObj := declaredObj(pkg, rs.Key)
+	valObj := declaredObj(pkg, rs.Value)
+	for _, stmt := range rs.Body.List {
+		if !commutativeStmt(pkg, stmt, keyObj, valObj) {
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeStmt recognizes the order-insensitive statement forms.
+func commutativeStmt(pkg *Package, stmt ast.Stmt, keyObj, valObj types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.BranchStmt:
+		// continue skips an element (a pure filter); break makes the
+		// result depend on which element came first.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+			// Accumulation into one place commutes across elements as
+			// long as the target is not itself an element-ordered value.
+			return true
+		case token.ASSIGN:
+			// Writes into the range value variable mutate a per-iteration
+			// copy; nothing carries across elements.
+			if valObj != nil && rootObj(pkg, s.Lhs[0]) == valObj {
+				return true
+			}
+			// dst[k] = v: stores keyed by the loop key hit distinct map
+			// cells, so element order cannot matter — unless the RHS
+			// reads the destination map itself.
+			idx, ok := s.Lhs[0].(*ast.IndexExpr)
+			if !ok || keyObj == nil || !mentions(pkg, idx.Index, keyObj) {
+				return false
+			}
+			if base, ok := idx.X.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[base]; obj != nil && mentions(pkg, s.Rhs[0], obj) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		// delete(m, k) keyed by the loop key commutes.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := pkg.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+			return false
+		}
+		return keyObj != nil && mentions(pkg, call.Args[1], keyObj)
+	case *ast.IfStmt:
+		if s.Init != nil || s.Else != nil {
+			return false
+		}
+		// min/max update: `if x < v { x = v }` and comparisons like it
+		// commute; otherwise the guarded body must itself be commutative
+		// under a call-free condition.
+		if isMinMaxUpdate(s) {
+			return true
+		}
+		if containsCall(s.Cond) {
+			return false
+		}
+		for _, inner := range s.Body.List {
+			if !commutativeStmt(pkg, inner, keyObj, valObj) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// isMinMaxUpdate recognizes `if a OP b { x = y }` where OP is an order
+// comparison and {x, y} ⊆ {a, b} textually — the running-min/max idiom.
+func isMinMaxUpdate(s *ast.IfStmt) bool {
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	if len(s.Body.List) != 1 {
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	a, b := types.ExprString(cond.X), types.ExprString(cond.Y)
+	l, r := types.ExprString(asg.Lhs[0]), types.ExprString(asg.Rhs[0])
+	return (l == a || l == b) && (r == a || r == b)
+}
+
+// rootObj resolves the identifier at the base of a selector/index chain
+// (rs in rs.Latency.Buckets) to its object, or nil.
+func rootObj(pkg *Package, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.Ident:
+			return declaredObj(pkg, e)
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredObj resolves the object a range clause declares (or assigns).
+func declaredObj(pkg *Package, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id]
+}
+
+// mentions reports whether the expression references the object.
+func mentions(pkg *Package, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsCall reports whether the expression contains any call.
+func containsCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

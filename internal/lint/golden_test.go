@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden fixtures under testdata/src/<name> pin each analyzer's
+// behavior: every `// want "regex"` comment must be matched by exactly
+// one finding on its line, and every finding must be claimed by a want.
+// Fixtures load under a deterministic import path so the replay-only
+// analyzers fire.
+
+// wantRe extracts expectations; the backquoted body is a regexp matched
+// against "analyzer: message".
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type want struct {
+	file string // basename
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*want
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", ent.Name(), i+1, m[1], err)
+				}
+				out = append(out, &want{file: ent.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, name := range []string{"detrange", "wallclock", "rngsource", "snapstate", "hotalloc", "suppress"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			pkg, err := LoadDir(dir, "fixture/internal/sim")
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			findings := NewSuite(DefaultConfig()).Run([]*Package{pkg})
+			wants := parseWants(t, dir)
+
+			for _, f := range findings {
+				rendered := f.Analyzer + ": " + f.Message
+				base := filepath.Base(f.Pos.Filename)
+				matched := false
+				for _, w := range wants {
+					if w.hit || w.file != base || w.line != f.Pos.Line {
+						continue
+					}
+					if w.re.MatchString(rendered) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding at %s:%d: %s", base, f.Pos.Line, rendered)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("missing finding at %s:%d matching %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionRequiresReason pins the malformed-annotation path the
+// fixture comment syntax cannot express (a want comment on the same
+// line would itself become the reason).
+func TestSuppressionRequiresReason(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\n//detlint:ordered\nfunc f() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, "fixture/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := parseSuppressions(pkg)
+	if len(s.entries) != 0 {
+		t.Fatalf("reasonless annotation registered as a suppression: %+v", s.entries[0])
+	}
+	if len(s.malformed) != 1 || !strings.Contains(s.malformed[0].msg, "requires a reason") {
+		t.Fatalf("want one 'requires a reason' malformed entry, got %+v", s.malformed)
+	}
+}
+
+// TestRepoTreeClean is the self-check: the suite over the real module
+// must report nothing — the tree stays lint-clean, and every
+// suppression in it is reasoned and live. Skipped in -short mode (it
+// type-checks the whole module).
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module; skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings := NewSuite(DefaultConfig()).Run(pkgs)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("detlint is not clean on the repository tree: %d findings", len(findings))
+	}
+}

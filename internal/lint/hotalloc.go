@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotalloc guards the CI allocation budget at review time instead of
+// after the fact: in every function statically reachable from the
+// engine's timeline phase closures, it flags the constructs that defeat
+// a (near-)zero-alloc steady state —
+//
+//   - fmt.* calls (fmt.Errorf excepted: error construction only runs on
+//     failure paths, which the steady-state budget never executes);
+//   - heap-escaping composite literals (&T{...});
+//   - slice and map composite literals (always allocate);
+//   - closures that capture enclosing variables (the capture forces a
+//     heap allocation per creation);
+//   - append growth on unsized local slices (a fresh backing array per
+//     call instead of an engine-owned arena).
+//
+// Roots are found structurally, not by hard-coded names: every method
+// named phase* on a deterministic-package type that also has a Step
+// method (sim.Engine's eight pre-bound phase closures), plus Step
+// itself. Amortized growth paths (ID pools, arena warm-up) carry a
+// //detlint:hotalloc <reason> at each site.
+type hotalloc struct{}
+
+func (hotalloc) Name() string { return "hotalloc" }
+
+func (hotalloc) Run(rc *RunContext) {
+	idx := rc.FuncIndex()
+	var roots []*types.Func
+	for _, pkg := range rc.Pkgs {
+		if !rc.Cfg.Deterministic(pkg.Path) {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			hasStep := false
+			for i := 0; i < named.NumMethods(); i++ {
+				if named.Method(i).Name() == "Step" {
+					hasStep = true
+					break
+				}
+			}
+			if !hasStep {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				if m.Name() == "Step" || strings.HasPrefix(m.Name(), "phase") {
+					roots = append(roots, m)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	for fn := range reachableFrom(roots, idx) {
+		inf := idx[fn]
+		if !inf.pkg.Target {
+			continue
+		}
+		checkHotFunc(rc, inf.pkg, inf.decl)
+	}
+}
+
+// checkHotFunc reports the allocation-prone constructs in one
+// phase-reachable function body.
+func checkHotFunc(rc *RunContext, pkg *Package, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() != "Errorf" {
+					rc.Reportf(pkg, TagHotalloc, e.Pos(),
+						"fmt.%s allocates in phase-reachable %s; preformat outside the hot loop or annotate //detlint:hotalloc <reason>",
+						fn.Name(), name)
+				}
+			}
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+					if target, ok := e.Args[0].(*ast.Ident); ok && unsizedLocalSlice(pkg, fd, target) {
+						rc.Reportf(pkg, TagHotalloc, e.Pos(),
+							"append grows unsized local slice %s in phase-reachable %s; preallocate capacity or reuse an engine-owned buffer",
+							target.Name, name)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if cl, ok := e.X.(*ast.CompositeLit); ok {
+					rc.Reportf(pkg, TagHotalloc, e.Pos(),
+						"&%s{...} escapes to the heap in phase-reachable %s", compositeName(pkg, cl), name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(e)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				rc.Reportf(pkg, TagHotalloc, e.Pos(),
+					"%s literal allocates in phase-reachable %s", compositeName(pkg, e), name)
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(pkg, e); capt != "" {
+				rc.Reportf(pkg, TagHotalloc, e.Pos(),
+					"closure captures %s in phase-reachable %s; pre-bind it outside the hot loop", capt, name)
+			}
+		}
+		return true
+	})
+}
+
+// compositeName renders a composite literal's type for the message.
+func compositeName(pkg *Package, cl *ast.CompositeLit) string {
+	if cl.Type != nil {
+		return types.ExprString(cl.Type)
+	}
+	if t := pkg.Info.TypeOf(cl); t != nil {
+		return t.String()
+	}
+	return "composite"
+}
+
+// unsizedLocalSlice reports whether the append target is a slice
+// variable declared inside this function with no capacity reserved:
+// `var x []T`, `x := []T{...}`, or `x := make([]T, n)` without a cap —
+// the declarations whose backing array append must grow.
+func unsizedLocalSlice(pkg *Package, fd *ast.FuncDecl, target *ast.Ident) bool {
+	obj, ok := pkg.Info.Uses[target].(*types.Var)
+	if !ok {
+		obj, ok = pkg.Info.Defs[target].(*types.Var)
+		if !ok {
+			return false
+		}
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return false // field, package var, or parameter: caller-owned
+	}
+	unsized := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			for i, nm := range d.Names {
+				if pkg.Info.Defs[nm] != obj {
+					continue
+				}
+				if len(d.Values) == 0 {
+					unsized = true // var x []T
+				} else {
+					unsized = unsizedInit(pkg, d.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			if d.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range d.Lhs {
+				nm, ok := lhs.(*ast.Ident)
+				if !ok || pkg.Info.Defs[nm] != obj || i >= len(d.Rhs) {
+					continue
+				}
+				unsized = unsizedInit(pkg, d.Rhs[i])
+			}
+		case *ast.FuncLit:
+			return false // a nested closure's locals are its own problem
+		}
+		return true
+	})
+	return unsized
+}
+
+// unsizedInit reports whether a slice initializer reserves no capacity:
+// a composite literal or a two-argument make.
+func unsizedInit(pkg *Package, init ast.Expr) bool {
+	switch e := init.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pkg.Info.Uses[id].(*types.Builtin)
+		return ok && b.Name() == "make" && len(e.Args) < 3
+	}
+	return false
+}
+
+// capturedVar returns the name of a variable the function literal
+// captures from an enclosing function, or "" if it captures nothing.
+func capturedVar(pkg *Package, fl *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared outside the literal but inside some
+		// function (package-level vars don't force a closure allocation
+		// by themselves).
+		if v.Pos() < fl.Pos() && v.Parent() != nil && v.Parent() != pkg.Types.Scope() && !paramOf(pkg, fl, id) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+// paramOf reports whether the identifier resolves to one of the
+// literal's own parameters or results.
+func paramOf(pkg *Package, fl *ast.FuncLit, id *ast.Ident) bool {
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() >= fl.Type.Pos() && v.Pos() <= fl.Type.End()
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the package's import path (module path + directory).
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Target marks packages named by the load patterns (analyzers only
+	// report findings in targets; dependency packages are loaded for
+	// type information but never linted).
+	Target bool
+
+	supp *suppressions
+}
+
+// Loader parses and type-checks packages without any external tooling:
+// module-internal imports are resolved recursively against the module
+// root, and standard-library imports are type-checked from $GOROOT/src
+// by the go/importer source importer. The module under analysis must be
+// dependency-free (stdlib-only), which this repository is by policy.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // module root directory
+	module  string // module path from go.mod
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+	// IncludeTests adds _test.go files of the package itself (not
+	// external _test packages). Off by default: test files may use wall
+	// clocks and ad-hoc randomness legitimately.
+	IncludeTests bool
+
+	errs []string
+}
+
+// NewLoader returns a loader rooted at the module directory. The module
+// path is read from go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    abs,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Module returns the module path of the loaded tree.
+func (l *Loader) Module() string { return l.module }
+
+// Load resolves the patterns ("./...", "./internal/sim", ...) to package
+// directories, loads and type-checks each, and returns the target
+// packages in deterministic import-path order. Dependencies outside the
+// patterns are loaded transitively but not returned.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.root, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.root, strings.TrimSuffix(pat, "/..."))
+			if err := l.walk(base, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[filepath.Join(l.root, pat)] = true
+		}
+	}
+	var paths []string
+	for dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.module
+		if rel != "." {
+			path = l.module + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // directory without Go files
+		}
+		pkg.Target = true
+		out = append(out, pkg)
+	}
+	if len(l.errs) > 0 {
+		return nil, fmt.Errorf("lint: type checking failed:\n  %s", strings.Join(l.errs, "\n  "))
+	}
+	return out, nil
+}
+
+// LoadDir loads a single directory as a package under an arbitrary
+// import path, outside any module — the fixture loader the analyzer
+// golden tests use. Imports must all be standard library.
+func LoadDir(dir, asPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	l := &Loader{
+		fset:    fset,
+		root:    dir,
+		module:  asPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	pkg, err := l.load(asPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	if len(l.errs) > 0 {
+		return nil, fmt.Errorf("lint: type checking failed:\n  %s", strings.Join(l.errs, "\n  "))
+	}
+	pkg.Target = true
+	return pkg, nil
+}
+
+// walk collects every directory under base that holds Go files,
+// skipping testdata, hidden, and underscore-prefixed directories.
+func (l *Loader) walk(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+}
+
+// load parses and type-checks one package by import path, memoized.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.module {
+		rel := strings.TrimPrefix(path, l.module+"/")
+		dir = filepath.Join(l.root, filepath.FromSlash(rel))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".go") || ent.IsDir() {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+	// An in-package test file may declare package foo_test; those belong
+	// to the external test package and are dropped even with
+	// IncludeTests (they cannot be checked together with package foo).
+	base := files[0].Name.Name
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == base || !strings.HasSuffix(f.Name.Name, "_test") {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			l.errs = append(l.errs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// recursively through this loader; everything else is treated as
+// standard library and type-checked from source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// snapstate guards checkpoint completeness: for every struct type with
+// a capture method (Snapshot, State, or SaveState), each of its fields
+// must be referenced somewhere in the type's snapshot/restore surface —
+// the bodies of functions whose name involves snapshotting (Snapshot,
+// State, Restore, SaveState, LoadState, or a *From* constructor like
+// NewEngineFrom / CounterFromState), plus methods of the type those
+// bodies call — or carry a //detlint:ephemeral <reason> annotation.
+//
+// A new dynamic-state field that Snapshot forgets silently breaks
+// checkpoint/restore equivalence in exactly the configurations the test
+// matrix doesn't run; this moves the obligation to every PR.
+type snapstate struct{}
+
+func (snapstate) Name() string { return "snapstate" }
+
+// captureMethods qualify a struct for checking; restoreNameParts mark
+// the function bodies that count as its snapshot/restore surface.
+var (
+	captureMethods   = map[string]bool{"Snapshot": true, "State": true, "SaveState": true}
+	restoreNameParts = []string{"snapshot", "state", "restore", "from"}
+)
+
+func (snapstate) Run(rc *RunContext) {
+	for _, pkg := range rc.Pkgs {
+		checkSnapshotPackage(rc, pkg)
+	}
+}
+
+func checkSnapshotPackage(rc *RunContext, pkg *Package) {
+	// Qualifying types: package-level named structs with an explicit
+	// capture method.
+	type checked struct {
+		named  *types.Named
+		fields map[*types.Var]bool // field object -> captured
+	}
+	var targets []*checked
+	fieldOwner := map[*types.Var]*checked{}
+	namedSet := map[*types.Named]bool{}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		qualifies := false
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if captureMethods[m.Name()] && capturesState(m) {
+				qualifies = true
+				break
+			}
+		}
+		if !qualifies {
+			continue
+		}
+		c := &checked{named: named, fields: map[*types.Var]bool{}}
+		for i := 0; i < st.NumFields(); i++ {
+			c.fields[st.Field(i)] = false
+			fieldOwner[st.Field(i)] = c
+		}
+		targets = append(targets, c)
+		namedSet[named] = true
+	}
+	if len(targets) == 0 {
+		return
+	}
+
+	// The snapshot/restore surface: function bodies whose name suggests
+	// capture or restore, grown by the methods of qualifying types they
+	// call (so capture helpers split out of Snapshot still count).
+	var surface []*ast.FuncDecl
+	inSurface := map[*ast.FuncDecl]bool{}
+	var declsByObj = map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				declsByObj[obj] = fd
+			}
+			if snapshotName(fd.Name.Name) {
+				surface = append(surface, fd)
+				inSurface[fd] = true
+			}
+		}
+	}
+	for i := 0; i < len(surface); i++ {
+		ast.Inspect(surface[i].Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			recv := fn.Signature().Recv()
+			if recv == nil || !receiverIn(recv.Type(), namedSet) {
+				return true
+			}
+			if fd := declsByObj[fn]; fd != nil && !inSurface[fd] {
+				inSurface[fd] = true
+				surface = append(surface, fd)
+			}
+			return true
+		})
+	}
+
+	// Mark fields referenced in the surface: selector field accesses and
+	// keyed/positional composite literals of a qualifying type.
+	for _, fd := range surface {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pkg.Info.Selections[e]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if v, ok := sel.Obj().(*types.Var); ok {
+					if c := fieldOwner[v]; c != nil {
+						c.fields[v] = true
+					}
+				}
+			case *ast.CompositeLit:
+				t := pkg.Info.TypeOf(e)
+				if t == nil {
+					return true
+				}
+				st, ok := t.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				// Composite literals name fields without a selector.
+				for i, elt := range e.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							if v, ok := pkg.Info.Uses[key].(*types.Var); ok {
+								if c := fieldOwner[v]; c != nil {
+									c.fields[v] = true
+								}
+							}
+						}
+						continue
+					}
+					if i < st.NumFields() {
+						if c := fieldOwner[st.Field(i)]; c != nil {
+							c.fields[st.Field(i)] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, c := range targets {
+		st := c.named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			v := st.Field(i)
+			if c.fields[v] {
+				continue
+			}
+			rc.Reportf(pkg, TagEphemeral, v.Pos(),
+				"field %s.%s is not referenced by any snapshot/restore body; capture it or annotate //detlint:ephemeral <reason>",
+				c.named.Obj().Name(), v.Name())
+		}
+	}
+}
+
+// capturesState reports whether a capture-named method actually returns
+// a state container — a struct (possibly behind a pointer) or a map.
+// This keeps scalar getters that merely share a capture name (e.g. a
+// State() returning a power-state enum) from qualifying their receiver.
+func capturesState(m *types.Func) bool {
+	res := m.Signature().Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(0).Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Map:
+		return true
+	}
+	return false
+}
+
+// snapshotName reports whether a function name belongs to the
+// snapshot/restore surface.
+func snapshotName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, part := range restoreNameParts {
+		if strings.Contains(lower, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverIn reports whether the receiver type (possibly a pointer) is
+// one of the checked named types.
+func receiverIn(t types.Type, namedSet map[*types.Named]bool) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && namedSet[named]
+}

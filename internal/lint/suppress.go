@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Tag names the invariant a suppression excuses. Every tag belongs to
+// exactly one analyzer.
+type Tag string
+
+// The suppression tags, one per analyzer:
+//
+//	//detlint:ordered <reason>    — detrange: this map iteration is safe
+//	//detlint:wallclock <reason>  — wallclock: this clock read is telemetry
+//	//detlint:rng <reason>        — rngsource: this randomness is justified
+//	//detlint:ephemeral <reason>  — snapstate: this field is derived/scratch
+//	//detlint:hotalloc <reason>   — hotalloc: this allocation is amortized/cold
+//
+// A suppression must carry a non-empty reason and covers its own line
+// plus the next line (so it works both trailing and as a standalone
+// comment above the construct). A suppression that never matches a
+// would-be finding is itself reported as stale.
+const (
+	TagOrdered   Tag = "ordered"
+	TagWallclock Tag = "wallclock"
+	TagRNG       Tag = "rng"
+	TagEphemeral Tag = "ephemeral"
+	TagHotalloc  Tag = "hotalloc"
+)
+
+var knownTags = map[Tag]bool{
+	TagOrdered: true, TagWallclock: true, TagRNG: true, TagEphemeral: true, TagHotalloc: true,
+}
+
+// suppression is one parsed //detlint: comment.
+type suppression struct {
+	tag    Tag
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+type malformedSuppression struct {
+	pos token.Position
+	msg string
+}
+
+// suppressions holds a package's parsed annotations.
+type suppressions struct {
+	entries   []*suppression
+	malformed []malformedSuppression
+	// byLine indexes entries by (file, line) for O(1) match.
+	byLine map[lineKey][]*suppression
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+const marker = "//detlint:"
+
+// parseSuppressions scans every comment in the package for //detlint:
+// annotations. Like go:build and go:generate, the marker must start the
+// comment (directive position), so prose that merely mentions the
+// syntax doesn't register. Malformed annotations (unknown tag, missing
+// reason) are collected as findings-to-be rather than silently ignored,
+// so a typo never silently un-suppresses.
+func parseSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: map[lineKey][]*suppression{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, marker) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := text[len(marker):]
+				tagStr, reason, _ := strings.Cut(rest, " ")
+				tag := Tag(strings.TrimSpace(tagStr))
+				reason = strings.TrimSpace(reason)
+				if !knownTags[tag] {
+					s.malformed = append(s.malformed, malformedSuppression{
+						pos: pos,
+						msg: "unknown suppression tag " + string(tag) + " (want ordered|wallclock|rng|ephemeral|hotalloc)",
+					})
+					continue
+				}
+				if reason == "" {
+					s.malformed = append(s.malformed, malformedSuppression{
+						pos: pos,
+						msg: "suppression //detlint:" + string(tag) + " requires a reason",
+					})
+					continue
+				}
+				sp := &suppression{tag: tag, reason: reason, pos: pos}
+				s.entries = append(s.entries, sp)
+				// Covers its own line (trailing form) and the next line
+				// (standalone comment above the construct).
+				s.byLine[lineKey{pos.Filename, pos.Line}] = append(s.byLine[lineKey{pos.Filename, pos.Line}], sp)
+				s.byLine[lineKey{pos.Filename, pos.Line + 1}] = append(s.byLine[lineKey{pos.Filename, pos.Line + 1}], sp)
+			}
+		}
+	}
+	return s
+}
+
+// match reports whether a suppression with the tag covers file:line,
+// marking it used. A suppression on the finding's own line wins over
+// one on the line above, so runs of consecutively annotated lines each
+// consume their own annotation instead of the neighbor's.
+func (s *suppressions) match(tag Tag, file string, line int) bool {
+	var above *suppression
+	for _, sp := range s.byLine[lineKey{file, line}] {
+		if sp.tag != tag {
+			continue
+		}
+		if sp.pos.Line == line {
+			sp.used = true
+			return true
+		}
+		if above == nil {
+			above = sp
+		}
+	}
+	if above != nil {
+		above.used = true
+		return true
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises the detrange analyzer: map ranges in a
+// deterministic package must be provably order-insensitive, sorted, or
+// annotated. Loaded by TestAnalyzerGoldens under a deterministic import
+// path; `// want "regex"` comments pin the expected findings.
+package fixture
+
+import "sort"
+
+// collectNoSort leaks iteration order into the result slice.
+func collectNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `detrange: range over map m iterates in nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectThenSort gathers and immediately sorts: order cannot escape.
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		if k == "" {
+			continue
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sum is commutative accumulation.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// double stores keyed by the loop key: distinct cells commute.
+func double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// invert stores keyed by the loop VALUE: colliding values make the
+// result depend on which key the iteration saw last.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want `detrange: range over map m iterates in nondeterministic order`
+		out[v] = k
+	}
+	return out
+}
+
+// largest is the running-max idiom.
+func largest(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if best < v {
+			best = v
+		}
+	}
+	return best
+}
+
+// join concatenates in iteration order: order reaches the result.
+func join(m map[string]int) string {
+	s := ""
+	for k := range m { // want `detrange: range over map m iterates in nondeterministic order`
+		s = s + k
+	}
+	return s
+}
+
+// firstKey breaks on the first element, which depends on order.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `detrange: range over map m iterates in nondeterministic order`
+		return k
+	}
+	return ""
+}
+
+// suppressed carries a reasoned annotation, so no finding and no
+// staleness.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//detlint:ordered consumer treats the result as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sliceRange is not a map range; never flagged.
+func sliceRange(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+// Package fixture exercises the hotalloc analyzer: the engine-shaped
+// type below has Step and phase* methods (the structural root pattern),
+// and the bodies reachable from them carry the allocation-prone
+// constructs — including an injected fmt.Sprintf two calls deep, the
+// acceptance case.
+package fixture
+
+import "fmt"
+
+type engine struct {
+	ids []string
+	buf []int
+	n   int
+}
+
+// Step is a root; its own body stays clean.
+func (e *engine) Step() {
+	e.phaseArrivals()
+	e.phaseDrain()
+	e.phaseGrow()
+}
+
+// phaseArrivals reaches record through a plain call.
+func (e *engine) phaseArrivals() {
+	e.record(e.n)
+}
+
+// phaseDrain allocates directly.
+func (e *engine) phaseDrain() {
+	cold := &engine{} // want `hotalloc: &engine{...} escapes to the heap in phase-reachable phaseDrain`
+	_ = cold
+	m := map[string]int{} // want `hotalloc: map\[string\]int literal allocates in phase-reachable phaseDrain`
+	_ = m
+}
+
+// phaseGrow: the slice literal is a finding; the amortized append
+// carries a reasoned annotation.
+func (e *engine) phaseGrow() {
+	local := []int{}           // want `hotalloc: \[\]int literal allocates in phase-reachable phaseGrow`
+	local = append(local, e.n) //detlint:hotalloc pool seeding is amortized across epochs
+	e.buf = local
+}
+
+// record is phase-reachable transitively; the injected fmt.Sprintf is
+// the acceptance case.
+func (e *engine) record(n int) {
+	name := fmt.Sprintf("srv-%d", n) // want `hotalloc: fmt.Sprintf allocates in phase-reachable record`
+	e.ids = e.ids[:0]
+	e.ids = append(e.ids, name)
+	var grown []int
+	grown = append(grown, n) // want `hotalloc: append grows unsized local slice grown in phase-reachable record`
+	e.buf = grown
+	get := func() int { return n } // want `hotalloc: closure captures n in phase-reachable record`
+	e.n = get()
+}
+
+// report is NOT reachable from Step or any phase: cold code may format
+// freely.
+func (e *engine) report() string {
+	return fmt.Sprintf("%d ids", len(e.ids))
+}
+
+// errPath: fmt.Errorf is excepted even in hot code — error paths do not
+// run in the steady state.
+func (e *engine) phaseCheck() error {
+	if e.n < 0 {
+		return fmt.Errorf("negative count %d", e.n)
+	}
+	return nil
+}

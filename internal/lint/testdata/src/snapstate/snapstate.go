@@ -1,0 +1,63 @@
+// Package fixture exercises the snapstate analyzer: every field of a
+// struct with a capture method must be referenced by the type's
+// snapshot/restore surface or carry an ephemeral annotation. Engine
+// mirrors the sim engine shape — the injected bug is a dynamic-state
+// field (stats) that Snapshot forgot.
+package fixture
+
+// Engine carries replayable state. queue and clock round-trip through
+// EngineState; stats is dynamic state Snapshot silently drops — the
+// exact bug class this analyzer exists to catch.
+type Engine struct {
+	queue   []int
+	clock   int64
+	stats   map[string]int // want `snapstate: field Engine.stats is not referenced by any snapshot/restore body`
+	scratch []int          //detlint:ephemeral rebuilt lazily by the next lookup, never carries state
+}
+
+// EngineState is the wire form. It has no methods, so it is not itself
+// a checked type.
+type EngineState struct {
+	Queue []int
+	Clock int64
+}
+
+// Snapshot captures queue and clock via a helper, exercising the
+// surface expansion through methods of the checked type.
+func (e *Engine) Snapshot() *EngineState {
+	return &EngineState{Queue: e.captureQueue(), Clock: e.clock}
+}
+
+func (e *Engine) captureQueue() []int {
+	return append([]int(nil), e.queue...)
+}
+
+// NewEngineFrom is a *From* constructor: part of the restore surface.
+func NewEngineFrom(s *EngineState) *Engine {
+	return &Engine{queue: s.Queue, clock: s.Clock}
+}
+
+// Router qualifies through a map-returning State method.
+type Router struct {
+	routes map[string]string
+	cache  map[string]string // want `snapstate: field Router.cache is not referenced by any snapshot/restore body`
+}
+
+// State returns a copy of the routing table.
+func (r *Router) State() map[string]string {
+	out := make(map[string]string, len(r.routes))
+	for k, v := range r.routes {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauge has a State method that returns a scalar: a getter sharing a
+// capture name, not a capture — the type is not checked, so its
+// unreferenced field draws no finding.
+type Gauge struct {
+	level int
+}
+
+// State reports the current level.
+func (g *Gauge) State() int { return g.level }

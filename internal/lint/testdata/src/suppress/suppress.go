@@ -1,0 +1,35 @@
+// Package fixture exercises the suppression linting itself: stale
+// annotations (excusing nothing) and unknown tags are findings; prose
+// that merely mentions the marker mid-comment is not parsed.
+package fixture
+
+// The annotation below excuses a finding that does not exist, so it is
+// itself reported stale.
+func cleanLoop(xs []int) int {
+	n := 0
+	//detlint:ordered excuses nothing, the loop below is over a slice // want `suppress: stale suppression: no ordered finding on this or the next line`
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// An unknown tag is malformed, never silently ignored.
+func typo(m map[string]int) int {
+	n := 0
+	//detlint:orderd typo in the tag name // want `suppress: unknown suppression tag orderd`
+	for _, v := range m { // want `detrange: range over map m iterates in nondeterministic order`
+		n = n - v + 2*v
+	}
+	return n
+}
+
+// Prose mentioning //detlint:ordered mid-comment is not a directive and
+// registers nothing.
+func documented(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

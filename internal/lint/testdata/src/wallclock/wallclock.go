@@ -1,0 +1,40 @@
+// Package fixture exercises the wallclock analyzer: package-level time
+// functions that read or arm the host clock are forbidden in
+// deterministic packages; time.Time methods and annotated telemetry
+// sites are not.
+package fixture
+
+import "time"
+
+// now reads the wall clock directly.
+func now() time.Time {
+	return time.Now() // want `wallclock: time.Now reads the wall clock in a deterministic package`
+}
+
+// elapsed reads it through Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wallclock: time.Since reads the wall clock in a deterministic package`
+}
+
+// armTimer arms a host-clock timer.
+func armTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d) // want `wallclock: time.NewTimer reads the wall clock in a deterministic package`
+}
+
+// ordering uses time.Time methods: comparisons on values already in
+// hand never touch the host clock.
+func ordering(a, b time.Time) bool {
+	return a.After(b) || a.Before(b)
+}
+
+// arithmetic on durations and instants is clock-free too.
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// telemetry is the sanctioned exception: a reasoned annotation at the
+// site.
+func telemetry() time.Time {
+	t0 := time.Now() //detlint:wallclock solver wall time is operator-facing telemetry
+	return t0
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclock forbids reading the machine clock in deterministic
+// packages: simulated time must flow from the timeline, never from the
+// host. Telemetry-only timing (solver wall time, flight-recorder
+// durations) is the legitimate exception and carries a
+// //detlint:wallclock <reason> annotation at each site.
+type wallclock struct{}
+
+func (wallclock) Name() string { return "wallclock" }
+
+// wallclockFuncs are the time package entry points that read or arm the
+// host clock.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true,
+	"After": true, "AfterFunc": true,
+}
+
+func (wallclock) Run(rc *RunContext) {
+	for _, pkg := range rc.Pkgs {
+		if !rc.Cfg.Deterministic(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+					return true
+				}
+				if fn.Signature().Recv() != nil {
+					return true // a method like time.Time.After, not the package clock
+				}
+				rc.Reportf(pkg, TagWallclock, call.Pos(),
+					"time.%s reads the wall clock in a deterministic package; derive time from the timeline or annotate //detlint:wallclock <reason>",
+					fn.Name())
+				return true
+			})
+		}
+	}
+}

@@ -45,6 +45,7 @@ const (
 // NewQuantileSketch returns a sketch at the default resolution (~1%
 // relative error, 1100 buckets, ~9 KB fixed).
 func NewQuantileSketch() *QuantileSketch {
+	//detlint:hotalloc amortized: one sketch per replica/stream, created once and reused for its lifetime
 	return &QuantileSketch{
 		buckets:  make([]uint64, defaultSketchBuckets),
 		lowest:   defaultSketchLowest,

@@ -122,9 +122,10 @@ func (o *Orchestrator) consumeFaults() ([]string, error) {
 		}
 		sf := o.faultQueue[best]
 		o.faultQueue = append(o.faultQueue[:best], o.faultQueue[best+1:]...)
-		t0 := time.Now()
+		t0 := time.Now() //detlint:wallclock telemetry: fault apply latency feeds the flight recorder, never simulation state
 		err := o.applyFault(sf.Fault, o.now)
 		o.faultSeq++
+		//detlint:wallclock telemetry: fault apply latency feeds the flight recorder, never simulation state
 		o.recorder.Record(string(sf.Fault.Kind), sf.At, o.faultSeq, int64(time.Since(t0)))
 		if err != nil {
 			return evicted, err

@@ -30,10 +30,10 @@ type Orchestrator struct {
 	mu sync.Mutex
 
 	cluster *cluster.Cluster
-	carbon  *carbon.Service
-	shaper  *latency.Shaper
-	placer  *placement.Placer
-	horizon int
+	carbon  *carbon.Service   //detlint:ephemeral injected dependency, re-supplied on construction
+	shaper  *latency.Shaper   //detlint:ephemeral injected dependency, re-supplied on construction
+	placer  *placement.Placer //detlint:ephemeral injected dependency, re-supplied on construction
+	horizon int               //detlint:ephemeral configuration, re-supplied on construction
 
 	// ws is the long-lived placement workspace: built from the cluster
 	// on the first batch, it keeps profile cells, RTT rows, and candidate
@@ -61,7 +61,7 @@ type Orchestrator struct {
 	traffic       *trafficState
 	overloadTicks int64
 	lastOverload  time.Time
-	onOverload    func(now time.Time, dropped int64)
+	onOverload    func(now time.Time, dropped int64) //detlint:ephemeral callback hook, re-registered by the embedding process
 
 	// Live fault injection (InjectFault / POST /api/v1/faults): scheduled
 	// world-dynamics events consumed by Tick. The queue holds the fault
@@ -78,10 +78,10 @@ type Orchestrator struct {
 	faultEvictions int
 	lastFault      time.Time
 	lastFaultKind  string
-	evictedNow     []string
+	evictedNow     []string //detlint:ephemeral per-tick scratch, cleared before every use
 	flashSeq       int
 	flashServers   []FlashServerState
-	onEviction     func(now time.Time, evicted []string)
+	onEviction     func(now time.Time, evicted []string) //detlint:ephemeral callback hook, re-registered by the embedding process
 
 	// DeployLatency measures time from batch start to commit.
 	DeployLatency metrics.Summary
@@ -90,10 +90,10 @@ type Orchestrator struct {
 	// tracer, the Prometheus-style registry served at /metrics, and a
 	// flight recorder of applied fault events. faultSeq numbers recorded
 	// faults for the recorder's event stream.
-	trace    *obs.Tracer
-	recorder *obs.FlightRecorder
-	registry *obs.Registry
-	faultSeq uint64
+	trace    *obs.Tracer         //detlint:ephemeral telemetry: phase tracer, not simulation state
+	recorder *obs.FlightRecorder //detlint:ephemeral telemetry: flight recorder, not simulation state
+	registry *obs.Registry       //detlint:ephemeral telemetry: metrics registry, not simulation state
+	faultSeq uint64              //detlint:ephemeral telemetry: flight-recorder sequence number
 }
 
 // trafficState bundles the attached workload generator and its router.
@@ -185,7 +185,7 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 	}
 	pp := o.trace.Begin(tickPlacementIdx)
 	defer o.trace.End(tickPlacementIdx, pp)
-	start := time.Now()
+	start := time.Now() //detlint:wallclock telemetry: DeployLatency is an operator-facing wall-time metric
 	batch := o.pending
 	o.pending = nil
 
@@ -253,6 +253,7 @@ func (o *Orchestrator) PlaceBatch() (placed []*Deployment, rejected []string, er
 	if err := o.ws.CommitAssignment(prob, result.Assignment); err != nil {
 		return nil, nil, fmt.Errorf("orchestrator: workspace commit: %w", err)
 	}
+	//detlint:wallclock telemetry: DeployLatency is an operator-facing wall-time metric
 	o.DeployLatency.Add(float64(time.Since(start)) / float64(time.Millisecond))
 	return placed, rejected, nil
 }

@@ -120,9 +120,9 @@ func (pl *Placer) place(p *Problem, warm *Assignment) (*Result, error) {
 		return s.Solve(p, pol)
 	}
 
-	start := time.Now()
+	start := time.Now() //detlint:wallclock telemetry: Assignment.SolveTime reports solver wall time
 	a, err := run(solver)
-	solveTime := time.Since(start)
+	solveTime := time.Since(start) //detlint:wallclock telemetry: Assignment.SolveTime reports solver wall time
 	if err != nil && backend == "exact" {
 		// The exact backend can reject edge cases (e.g. time limit with
 		// no incumbent); fall back rather than fail the batch. Time the
@@ -133,11 +133,11 @@ func (pl *Placer) place(p *Problem, warm *Assignment) (*Result, error) {
 		if h == nil {
 			h = &HeuristicSolver{SkipValidate: true}
 		}
-		t1 := time.Now()
+		t1 := time.Now() //detlint:wallclock telemetry: fallback solve timed on its own for Assignment.SolveTime
 		a, err = run(h)
-		solveTime = time.Since(t1)
+		solveTime = time.Since(t1) //detlint:wallclock telemetry: fallback solve timed on its own for Assignment.SolveTime
 	}
-	totalTime := time.Since(start)
+	totalTime := time.Since(start) //detlint:wallclock telemetry: Assignment.TotalTime reports end-to-end wall time
 	if err != nil {
 		return nil, fmt.Errorf("placement: %s backend: %w", backend, err)
 	}

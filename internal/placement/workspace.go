@@ -318,6 +318,7 @@ func (ws *Workspace) class(model string, rate float64) *appClass {
 	c := ws.classes[key]
 	if c == nil {
 		ws.classes = memoRoom(ws.classes)
+		//detlint:hotalloc memo-miss path: one class entry per distinct (model, rate), cached for the run
 		c = &appClass{byDevice: map[string]cell{}}
 		ws.classes[key] = c
 	}
@@ -362,7 +363,7 @@ func (ws *Workspace) latFeasible(source string, sloMs float64) *idxSpan {
 	sp := ws.latOK[key]
 	if sp == nil {
 		ws.latOK = memoRoom(ws.latOK)
-		sp = &idxSpan{}
+		sp = &idxSpan{} //detlint:hotalloc memo-miss path: one span per distinct (source, SLO), cached for the run
 		ws.latOK[key] = sp
 	}
 	if sp.upTo < len(ws.servers) {
@@ -385,7 +386,7 @@ func (ws *Workspace) candidates(a App) []int {
 	sp := ws.cands[key]
 	if sp == nil {
 		ws.cands = memoRoom(ws.cands)
-		sp = &idxSpan{}
+		sp = &idxSpan{} //detlint:hotalloc memo-miss path: one span per distinct app shape, cached for the run
 		ws.cands[key] = sp
 	}
 	if sp.upTo < len(ws.servers) {

@@ -228,7 +228,7 @@ func (r *Router) NewSlice(replicas []Replica, seconds float64) *Slice {
 func (r *Router) ReuseSlice(replicas []Replica, seconds float64) *Slice {
 	s := r.reuse
 	if s == nil {
-		s = &Slice{r: r}
+		s = &Slice{r: r} //detlint:hotalloc pool-miss path: allocates once per router, then reused forever
 		r.reuse = s
 	}
 	s.reset(replicas, seconds)
@@ -385,7 +385,7 @@ func (s *Slice) assign(i int, n int64, latMs float64, spill bool, intensity func
 	if st.Replicas != nil {
 		rs := st.Replicas[rep.ID]
 		if rs == nil {
-			rs = &ReplicaStats{Latency: metrics.NewQuantileSketch()}
+			rs = &ReplicaStats{Latency: metrics.NewQuantileSketch()} //detlint:hotalloc amortized: allocates once per newly seen replica ID
 			st.Replicas[rep.ID] = rs
 		}
 		rs.Requests += n
@@ -495,6 +495,7 @@ func (s *Stats) Snapshot() Snapshot {
 	if len(s.Replicas) > 0 {
 		snap.Replicas = make([]ReplicaSnapshot, 0, len(s.Replicas))
 	}
+	//detlint:ordered rows are sorted by replica ID immediately after this loop
 	for id, rs := range s.Replicas {
 		row := ReplicaSnapshot{
 			ID:        id,
@@ -593,6 +594,7 @@ func (r *Router) RestoreStats(st StatsState) error {
 	}
 	if r.cfg.PerReplica || st.Replicas != nil {
 		stats.Replicas = make(map[string]*ReplicaStats, len(st.Replicas))
+		//detlint:ordered keyed stores into a fresh map; order only picks which restore error surfaces, and any error aborts the restore
 		for id, rs := range st.Replicas {
 			sk, err := metrics.SketchFromState(rs.Latency)
 			if err != nil {

@@ -62,8 +62,8 @@ type Coordinator struct {
 	// barrier; the per-window delta becomes spill-over volume.
 	drops  []int64
 	stats  ExchangeStats
-	fwdBuf []sim.ForwardedApp
-	msgBuf []Msg
+	fwdBuf []sim.ForwardedApp //detlint:ephemeral per-epoch exchange scratch, cleared before every use
+	msgBuf []Msg              //detlint:ephemeral per-epoch exchange scratch, cleared before every use
 }
 
 // New plans the partition and builds one engine per shard.

@@ -156,6 +156,7 @@ func mergeTraffic(dst, src *router.StatsState) error {
 		if dst.Replicas == nil {
 			dst.Replicas = make(map[string]router.ReplicaStatsState, len(src.Replicas))
 		}
+		//detlint:ordered per-key merge into distinct map cells; order only picks which merge error surfaces, and any error aborts the fold
 		for id, rs := range src.Replicas {
 			cur, ok := dst.Replicas[id]
 			if !ok {

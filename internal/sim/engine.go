@@ -2,7 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/carbon"
@@ -53,27 +54,28 @@ func (f ObserverFunc) OnEpoch(epoch int, now time.Time, res *Result) { f(epoch, 
 // any number of engines may share one World: all world data is read-only.
 type Engine struct {
 	cfg Config
-	w   *World
+	w   *World //detlint:ephemeral shared read-only world, re-supplied to NewEngineFrom
 	// rngSrc is the exportable-state arrival stream; rng wraps it. All
 	// randomness flows through rngSrc so Snapshot can capture the stream
 	// position and a restored engine resumes it bit-identically.
 	rngSrc *rng.Source
-	rng    *rand.Rand
+	rng    *rng.Rand //detlint:ephemeral derived: wraps rngSrc, whose position is captured; Rand buffers nothing between draws
 
-	sites         []*deploy.Site
+	sites []*deploy.Site
+	//detlint:ephemeral derived from site geometry at construction
 	rtt           [][]float64 // pairwise RTT between site cities
 	siteIdxByCity map[string]int
-	demandW       []float64
+	demandW       []float64 //detlint:ephemeral derived from the scenario at construction
 	servers       []siteServer
 
 	// zoneSlot/zoneSlotOfSite index the region's distinct carbon zones,
 	// backing the slot-keyed (not map-keyed) per-epoch memos below.
-	zoneSlot       map[string]int
-	zoneSlotOfSite []int
+	zoneSlot       map[string]int //detlint:ephemeral derived zone index, rebuilt at construction
+	zoneSlotOfSite []int          //detlint:ephemeral derived zone index, rebuilt at construction
 
-	svc     *carbon.Service
-	horizon int
-	solver  *placement.HeuristicSolver
+	svc     *carbon.Service            //detlint:ephemeral derived: carbon service rebuilt from the world's traces
+	horizon int                        //detlint:ephemeral configuration, derived from cfg at construction
+	solver  *placement.HeuristicSolver //detlint:ephemeral stateless across epochs; warm-start state lives in warmBuf inputs rebuilt per batch
 
 	// ws is the persistent placement workspace: built once per run, it
 	// carries the memoized profile/RTT tables and per-app candidate
@@ -84,18 +86,18 @@ type Engine struct {
 	// fcVal is the per-zone-slot mean-forecast memo; a slot is valid when
 	// fcGenS[slot] == fcGen, and bumping fcGen (new epoch instant)
 	// invalidates every slot without clearing.
-	fcVal  []float64
-	fcGenS []int
-	fcGen  int
-	fcAt   time.Time
+	fcVal  []float64 //detlint:ephemeral per-instant memo, invalidated by generation counter
+	fcGenS []int     //detlint:ephemeral per-instant memo, invalidated by generation counter
+	fcGen  int       //detlint:ephemeral memo generation counter; a stale value only forces a recompute
+	fcAt   time.Time //detlint:ephemeral memo instant tag; a stale value only forces a recompute
 	// ciVal is the per-zone-slot current-intensity memo, same scheme.
-	ciVal  []float64
-	ciGenS []int
-	ciGen  int
-	ciAt   time.Time
+	ciVal  []float64 //detlint:ephemeral per-instant memo, invalidated by generation counter
+	ciGenS []int     //detlint:ephemeral per-instant memo, invalidated by generation counter
+	ciGen  int       //detlint:ephemeral memo generation counter; a stale value only forces a recompute
+	ciAt   time.Time //detlint:ephemeral memo instant tag; a stale value only forces a recompute
 	// rebuild forces the legacy dense placement.Build path on every
 	// batch (test hook for the workspace-vs-rebuild equivalence suite).
-	rebuild bool
+	rebuild bool //detlint:ephemeral test hook, set only by the equivalence suite
 
 	// tl is the epoch timeline: every phase of every epoch is a scheduled
 	// event, dispatched in (time, seq) order. Nil in FixedLoop mode.
@@ -117,7 +119,7 @@ type Engine struct {
 	// shard's ingress site; outbox collects unplaced fresh arrivals when
 	// cfg.ForwardUnplaced; inApps/inReqs hold coordinator-injected
 	// arrivals and request volume, consumed at their target epoch.
-	gateway int
+	gateway int //detlint:ephemeral derived from cfg at construction
 	outbox  []ForwardedApp
 	inApps  []inboxApp
 	inReqs  []inboxReq
@@ -129,7 +131,7 @@ type Engine struct {
 	// accumulation buffer so the backlog double-buffers instead of
 	// reallocating every drain.
 	pending      []pendingApp
-	pendingSpare []pendingApp
+	pendingSpare []pendingApp //detlint:ephemeral double-buffer spare; contents are dead between drains
 	appSeq       int
 	start        time.Time
 	epoch        int
@@ -140,36 +142,37 @@ type Engine struct {
 	phArrive, phPlace, phTraffic, phAccrue   events.Apply
 
 	// Hot-loop scratch, reused every epoch (wiped in place, never freed).
-	idPool   []string // positional backlog IDs ("q-0", "q-1", ...)
-	appsBuf  []placement.App
-	prevsBuf []int
-	asgBuf   placement.Assignment
-	warmBuf  placement.Assignment
+	idPool   []string             // positional backlog IDs ("q-0", "q-1", ...)
+	appsBuf  []placement.App      //detlint:ephemeral per-batch scratch, wiped before every solve
+	prevsBuf []int                //detlint:ephemeral per-batch scratch, wiped before every solve
+	asgBuf   placement.Assignment //detlint:ephemeral per-batch scratch, wiped before every solve
+	warmBuf  placement.Assignment //detlint:ephemeral per-batch scratch, wiped before every solve
 	// cityMonthKey[site][month] pre-renders the MonthlyPlacements keys.
-	cityMonthKey [][12]string
+	cityMonthKey [][12]string //detlint:ephemeral pre-rendered key strings, derived at construction
 
 	// Traffic-driven mode (cfg.Traffic != nil).
 	tgen    *traffic.Generator
 	trouter *router.Router
-	sloMs   float64 // end-to-end routing SLO
+	//detlint:ephemeral configuration, derived from cfg at construction
+	sloMs float64 // end-to-end routing SLO
 	// profiles caches energy profiles per (model, device); struct keys
 	// avoid re-rendering "model/device" strings in the hot path.
-	profiles map[profKey]energy.Profile
-	sliceBuf []int64
-	replBuf  []router.Replica
-	replIdx  map[replKey]int
+	profiles map[profKey]energy.Profile //detlint:ephemeral pure cache over the static profile table
+	sliceBuf []int64                    //detlint:ephemeral per-slice scratch, wiped before every use
+	replBuf  []router.Replica           //detlint:ephemeral per-slice scratch, wiped before every use
+	replIdx  map[replKey]int            //detlint:ephemeral per-slice scratch, wiped before every use
 	// intensityFn is the pre-bound zone-intensity oracle handed to the
 	// router (reads the slot memo prefilled by stepTraffic).
-	intensityFn func(string) float64
+	intensityFn func(string) float64 //detlint:ephemeral pre-bound closure over the slot memo, rebuilt at construction
 
 	// Observability (cfg.Obs != nil): tracer accumulates per-phase
 	// timings through the wrapped phase closures; recorder keeps the
 	// most recent dispatched events. Both nil by default — the dispatch
 	// loop branches on recorder exactly once per Step.
-	tracer   *obs.Tracer
+	tracer   *obs.Tracer //detlint:ephemeral telemetry: phase tracer, not simulation state
 	recorder *obs.FlightRecorder
 
-	observers []Observer
+	observers []Observer //detlint:ephemeral callback hooks, re-registered by the embedding process
 }
 
 // profKey keys the energy-profile cache by (model, device).
@@ -205,9 +208,12 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 			}
 		}
 		if len(allow) > 0 {
+			missing := make([]string, 0, len(allow))
 			for city := range allow {
-				return nil, fmt.Errorf("sim: Sites names %q, not a site in region %v", city, cfg.Region)
+				missing = append(missing, city)
 			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("sim: Sites names %q, not a site in region %v", missing[0], cfg.Region)
 		}
 		sites = sub
 	}
@@ -216,7 +222,7 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 		cfg:    cfg,
 		w:      w,
 		rngSrc: src,
-		rng:    rand.New(src),
+		rng:    rng.New(src),
 		sites:  sites,
 	}
 
@@ -340,7 +346,7 @@ func NewEngine(cfg Config, w *World) (*Engine, error) {
 	for j := range e.servers {
 		srv := &e.servers[j]
 		pservers[j] = placement.Server{
-			ID:         fmt.Sprintf("srv-%d", j),
+			ID:         "srv-" + strconv.Itoa(j),
 			DC:         sites[srv.site].City,
 			Device:     srv.device.Name,
 			BasePowerW: srv.device.IdleW,
@@ -497,8 +503,9 @@ func (e *Engine) Step() error {
 		// per event. Kept as a separate loop so the default path stays
 		// branch-free per event.
 		for ev, ok := e.tl.PopDue(now); ok; ev, ok = e.tl.PopDue(now) {
-			t0 := time.Now()
+			t0 := time.Now() //detlint:wallclock telemetry: event latency feeds the flight recorder, never simulation state
 			err := ev.Apply(now)
+			//detlint:wallclock telemetry: event latency feeds the flight recorder, never simulation state
 			e.recorder.Record(ev.Kind, ev.At, ev.Seq, int64(time.Since(t0)))
 			if err != nil {
 				return fmt.Errorf("sim: epoch %d %s event: %w", epoch, ev.Kind, err)
@@ -606,8 +613,9 @@ func (e *Engine) fixedStep(now time.Time, epoch int) error {
 func (e *Engine) phaseFaults(now time.Time) error {
 	if e.recorder != nil {
 		for ev, ok := e.faultq.PopDue(now); ok; ev, ok = e.faultq.PopDue(now) {
-			t0 := time.Now()
+			t0 := time.Now() //detlint:wallclock telemetry: fault latency feeds the flight recorder, never simulation state
 			err := ev.Apply(now)
+			//detlint:wallclock telemetry: fault latency feeds the flight recorder, never simulation state
 			e.recorder.Record(ev.Kind, ev.At, ev.Seq, int64(time.Since(t0)))
 			if err != nil {
 				return err
@@ -720,7 +728,7 @@ type pendingApp struct {
 // position and the rendered strings are reused for the whole run.
 func (e *Engine) queueID(pos int) string {
 	for len(e.idPool) <= pos {
-		e.idPool = append(e.idPool, fmt.Sprintf("q-%d", len(e.idPool)))
+		e.idPool = append(e.idPool, "q-"+strconv.Itoa(len(e.idPool)))
 	}
 	return e.idPool[pos]
 }
@@ -878,11 +886,11 @@ func (e *Engine) solveBatch(apps []placement.App, now time.Time, warm *placement
 	if err != nil {
 		return nil, nil, err
 	}
-	t0 := time.Now()
+	t0 := time.Now() //detlint:wallclock telemetry: Result.SolveTime reports solver wall time, not simulated time
 	if err := e.solver.SolveInto(&e.asgBuf, prob, e.cfg.Policy, warm); err != nil {
 		return nil, nil, err
 	}
-	e.res.SolveTime += time.Since(t0)
+	e.res.SolveTime += time.Since(t0) //detlint:wallclock telemetry: Result.SolveTime reports solver wall time, not simulated time
 	e.res.Batches++
 	return prob, &e.asgBuf, nil
 }
@@ -1112,7 +1120,7 @@ func (e *Engine) serverViews(now time.Time) ([]placement.Server, error) {
 			return nil, err
 		}
 		pservers[j] = placement.Server{
-			ID:         fmt.Sprintf("srv-%d", j),
+			ID:         "srv-" + strconv.Itoa(j),
 			DC:         e.sites[srv.site].City,
 			Device:     srv.device.Name,
 			Intensity:  mean,

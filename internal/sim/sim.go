@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"repro/internal/carbon"
@@ -12,6 +10,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/latency"
 	"repro/internal/metrics"
+	"repro/internal/rng"
 	"repro/internal/router"
 )
 
@@ -143,7 +142,7 @@ func Run(cfg Config, w *World) (*Result, error) {
 func (a *liveApp) demand(cfg Config) cluster.Resources {
 	prof, err := energy.ProfileFor(a.model, a.device)
 	if err != nil {
-		panic(fmt.Sprintf("sim: profile vanished: %v", err))
+		panic("sim: profile vanished: " + err.Error())
 	}
 	occupancy := cfg.RatePerSec * prof.InferenceMs
 	return cluster.NewResources(occupancy, 64, prof.MemMB, cfg.RatePerSec*2)
@@ -173,7 +172,7 @@ func weights(sites []*deploy.Site, s Scenario) []float64 {
 }
 
 // sampleWeighted draws an index proportional to weights.
-func sampleWeighted(rng *rand.Rand, w []float64) int {
+func sampleWeighted(rng *rng.Rand, w []float64) int {
 	var total float64
 	for _, v := range w {
 		total += v
@@ -190,7 +189,7 @@ func sampleWeighted(rng *rand.Rand, w []float64) int {
 
 // poisson draws from a Poisson distribution (Knuth's method; fine for the
 // small rates used here).
-func poisson(rng *rand.Rand, lambda float64) int {
+func poisson(rng *rng.Rand, lambda float64) int {
 	if lambda <= 0 {
 		return 0
 	}

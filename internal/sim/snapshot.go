@@ -397,13 +397,10 @@ func NewEngineFrom(cfg Config, w *World, snap *Snapshot) (*Engine, error) {
 	e.appSeq, e.evictSeq = snap.AppSeq, snap.EvictSeq
 	e.forceRedeploy, e.downCount = snap.ForceRedeploy, snap.DownCount
 	e.fcErr = nil
-	if cfg.Faults != nil {
+	if cfg.Faults != nil || len(snap.FcErr) > 0 {
 		e.fcErr = map[string]float64{}
 	}
 	for z, f := range snap.FcErr {
-		if e.fcErr == nil {
-			e.fcErr = map[string]float64{}
-		}
 		e.fcErr[z] = f
 	}
 

@@ -16,7 +16,6 @@ package traffic
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 	"time"
 
@@ -123,7 +122,7 @@ type Generator struct {
 	// slice is drawn from a stream seeded purely by (Seed, hour), the
 	// source can be reseeded in place instead of reallocated per slice.
 	src *rng.Source
-	rnd *rand.Rand
+	rnd *rng.Rand
 }
 
 // NewGenerator builds a generator over the given sources. start anchors
@@ -147,7 +146,7 @@ func NewGenerator(cfg Config, start time.Time, sources []Source) (*Generator, er
 	}
 	g := &Generator{cfg: cfg, start: start, sources: sources, flashIdx: -1}
 	g.src = rng.NewSource(0)
-	g.rnd = rand.New(g.src)
+	g.rnd = rng.New(g.src)
 	for i, s := range sources {
 		if s.Weight < 0 {
 			return nil, fmt.Errorf("traffic: source %s has negative weight", s.City)
@@ -218,7 +217,7 @@ func (g *Generator) shape(i, hour int) float64 {
 // pure function of (Seed, h): slices may be generated in any order and
 // from concurrent goroutines.
 func (g *Generator) Slice(hour int) []int64 {
-	r := rand.New(rng.NewSource(hourSeed(g.cfg.Seed, hour)))
+	r := rng.New(rng.NewSource(hourSeed(g.cfg.Seed, hour)))
 	out := make([]int64, len(g.sources))
 	for i := range g.sources {
 		out[i] = poissonCount(r, g.Rate(i, hour)*3600)
@@ -254,7 +253,7 @@ func hourSeed(base int64, hour int) int64 {
 // small rates, the normal approximation for the large per-slice rates an
 // open-loop generator produces (a million-RPS source draws lambda ~ 3.6e9
 // per hour, far past where exact sampling matters or is affordable).
-func poissonCount(rng *rand.Rand, lambda float64) int64 {
+func poissonCount(rng *rng.Rand, lambda float64) int64 {
 	if lambda <= 0 {
 		return 0
 	}
